@@ -1,0 +1,81 @@
+// Scaling ablation (beyond the paper's figures, motivated by its
+// introduction: "low latency ... enables the scaling of problems to higher
+// core counts"): Allreduce(552) latency and speedup-over-blocking as the
+// mesh grows from 1x1 (2 cores) to the full 6x4 SCC (48 cores). Shows that
+// the lightweight-stack advantage *grows* with the core count -- the
+// synchronization and per-call overheads the paper removes are per-round
+// costs, and ring algorithms have p-1 rounds.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "bench_support.hpp"
+
+namespace {
+
+using scc::harness::Collective;
+using scc::harness::PaperVariant;
+
+struct Mesh {
+  int x, y;
+};
+
+double latency_us(PaperVariant v, Mesh mesh) {
+  scc::harness::RunSpec spec;
+  spec.collective = Collective::kAllreduce;
+  spec.variant = v;
+  spec.elements = 552;
+  spec.repetitions = static_cast<int>(scc::bench::env_size("SCC_BENCH_REPS", 2));
+  spec.warmup = 1;
+  spec.verify = false;
+  spec.config.tiles_x = mesh.x;
+  spec.config.tiles_y = mesh.y;
+  return scc::harness::run_collective(spec).mean_latency.us();
+}
+
+std::map<int, std::pair<double, double>>& rows() {  // cores -> (blocking, bal)
+  static std::map<int, std::pair<double, double>> r;
+  return r;
+}
+
+void bench_mesh(benchmark::State& state, Mesh mesh) {
+  for (auto _ : state) {
+    const double blocking = latency_us(PaperVariant::kBlocking, mesh);
+    const double balanced = latency_us(PaperVariant::kLwBalanced, mesh);
+    rows()[mesh.x * mesh.y * 2] = {blocking, balanced};
+    state.SetIterationTime(blocking * 1e-6);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Mesh meshes[] = {{1, 1}, {2, 1}, {2, 2}, {3, 2}, {4, 3}, {6, 4}};
+  for (const Mesh mesh : meshes) {
+    const std::string name =
+        scc::strprintf("abl_scaling/%d_cores", mesh.x * mesh.y * 2);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [mesh](benchmark::State& state) { bench_mesh(state, mesh); })
+        ->UseManualTime()
+        ->Unit(benchmark::kMicrosecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::cout << "\n=== Allreduce(552) scaling with core count ===\n";
+  scc::Table table({"cores", "blocking", "lw-balanced", "speedup"});
+  for (const auto& [cores, pair] : rows()) {
+    table.add_row({scc::strprintf("%d", cores),
+                   scc::strprintf("%.1f us", pair.first),
+                   scc::strprintf("%.1f us", pair.second),
+                   scc::strprintf("%.2fx", pair.first / pair.second)});
+  }
+  table.print(std::cout);
+  std::filesystem::create_directories("bench_results");
+  table.write_csv_file("bench_results/abl_scaling.csv");
+  return 0;
+}

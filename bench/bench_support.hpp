@@ -1,0 +1,156 @@
+// Shared scaffolding for the figure/table benchmark binaries.
+//
+// Each bench binary regenerates one figure or table of the paper. Points
+// are registered as google-benchmark instances whose *manual* time is the
+// simulated (virtual) latency -- the number the paper's y-axes show -- so
+// the standard benchmark output IS the figure data. After the benchmark
+// run, the collected series are also written as CSV (bench_results/) and
+// printed as an aligned summary table.
+//
+// Environment knobs (the defaults keep every binary under ~a minute):
+//   SCC_BENCH_STEP  -- sweep step in elements (default: per-figure)
+//   SCC_BENCH_REPS  -- measured repetitions per point (default 2)
+//   SCC_BENCH_FROM / SCC_BENCH_TO -- sweep bounds (default 500..700)
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "harness/runner.hpp"
+
+namespace scc::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  return static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+}
+
+/// Collects (variant, size) -> latency points as benchmarks run, for the
+/// CSV/table dump after the benchmark pass.
+class SeriesCollector {
+ public:
+  void add(harness::PaperVariant variant, std::size_t elements, double us) {
+    data_[elements][variant] = us;
+  }
+
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] Table to_table(
+      const std::vector<harness::PaperVariant>& variants) const {
+    std::vector<std::string> header{"elements"};
+    for (const auto v : variants)
+      header.emplace_back(std::string(harness::variant_name(v)) + "_us");
+    Table table(std::move(header));
+    for (const auto& [elements, row] : data_) {
+      std::vector<std::string> cells{strprintf("%zu", elements)};
+      for (const auto v : variants) {
+        const auto it = row.find(v);
+        cells.push_back(it == row.end() ? "" : strprintf("%.2f", it->second));
+      }
+      table.add_row(std::move(cells));
+    }
+    return table;
+  }
+
+  /// Mean over the collected sweep of blocking/variant.
+  [[nodiscard]] double mean_speedup(harness::PaperVariant v) const {
+    double sum = 0.0;
+    int count = 0;
+    for (const auto& [elements, row] : data_) {
+      const auto base = row.find(harness::PaperVariant::kBlocking);
+      const auto it = row.find(v);
+      if (base == row.end() || it == row.end()) continue;
+      sum += base->second / it->second;
+      ++count;
+    }
+    return count > 0 ? sum / count : 0.0;
+  }
+
+ private:
+  std::map<std::size_t, std::map<harness::PaperVariant, double>> data_;
+};
+
+inline SeriesCollector& collector() {
+  static SeriesCollector instance;
+  return instance;
+}
+
+/// One measured figure point; SetIterationTime feeds the virtual latency
+/// to google-benchmark (binaries register with UseManualTime).
+inline void run_point(benchmark::State& state, harness::Collective coll,
+                      harness::PaperVariant variant, std::size_t elements) {
+  harness::RunSpec spec;
+  spec.collective = coll;
+  spec.variant = variant;
+  spec.elements = elements;
+  spec.repetitions = static_cast<int>(env_size("SCC_BENCH_REPS", 2));
+  spec.warmup = 1;
+  spec.verify = false;
+  for (auto _ : state) {
+    const harness::RunResult result = harness::run_collective(spec);
+    state.SetIterationTime(result.mean_latency.seconds());
+    collector().add(variant, elements, result.mean_latency.us());
+  }
+  state.counters["virtual_us"] =
+      benchmark::Counter(collector().empty() ? 0.0 : 0.0);
+}
+
+/// Registers the full Fig. 9 panel for `coll`.
+inline void register_figure(const char* figure, harness::Collective coll,
+                            std::size_t default_step) {
+  const std::size_t from = env_size("SCC_BENCH_FROM", 500);
+  const std::size_t to = env_size("SCC_BENCH_TO", 700);
+  const std::size_t step = env_size("SCC_BENCH_STEP", default_step);
+  for (const harness::PaperVariant v : harness::variants_for(coll)) {
+    for (std::size_t n = from; n <= to; n += step) {
+      const std::string name =
+          strprintf("%s/%s/%zu", figure,
+                    std::string(harness::variant_name(v)).c_str(), n);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [coll, v, n](benchmark::State& state) {
+            run_point(state, coll, v, n);
+          })
+          ->UseManualTime()
+          ->Unit(benchmark::kMicrosecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+/// Runs the registered benchmarks, then dumps the series as a table and a
+/// CSV under bench_results/.
+inline int figure_main(int argc, char** argv, const char* figure,
+                       harness::Collective coll) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const auto variants = harness::variants_for(coll);
+  const Table table = collector().to_table(variants);
+  std::cout << "\n=== " << figure << " (" << harness::collective_name(coll)
+            << ", 48 cores; latency in virtual microseconds) ===\n";
+  table.print(std::cout);
+  std::cout << "\nAverage speedup vs blocking over the sweep:\n";
+  for (const auto v : variants) {
+    if (v == harness::PaperVariant::kBlocking) continue;
+    std::cout << "  " << harness::variant_name(v) << ": "
+              << strprintf("%.2fx", collector().mean_speedup(v)) << '\n';
+  }
+  std::filesystem::create_directories("bench_results");
+  const std::string csv = std::string("bench_results/") + figure + ".csv";
+  table.write_csv_file(csv);
+  std::cout << "\nseries written to " << csv << '\n';
+  return 0;
+}
+
+}  // namespace scc::bench

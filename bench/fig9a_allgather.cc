@@ -1,0 +1,13 @@
+// Regenerates the paper's allgather panel of Fig. 9: latency of a
+// single collective on all 48 simulated cores against the vector size
+// (500..700 doubles), one series per library variant. Reported times are
+// VIRTUAL (simulated) microseconds -- the quantity on the paper's y-axis.
+#include "bench_support.hpp"
+
+int main(int argc, char** argv) {
+  scc::bench::register_figure("fig9a_allgather",
+                              scc::harness::Collective::kAllgather,
+                              /*default_step=*/8);
+  return scc::bench::figure_main(argc, argv, "fig9a_allgather",
+                                 scc::harness::Collective::kAllgather);
+}

@@ -1,0 +1,69 @@
+// Regenerates Fig. 6's block-size table (Section IV-C): block sizes and
+// max:min ratios of the standard (RCCE_comm) and balanced (paper) split
+// policies for the three vector lengths the figure shows, plus the
+// worst/best cases across the whole 500..700 sweep.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_support.hpp"
+#include "coll/block_split.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+void bench_split(benchmark::State& state) {
+  // The split itself is nanoseconds of host work; benchmarked for
+  // completeness of the binary.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scc::coll::split_blocks(n, 48, scc::coll::SplitPolicy::kBalanced));
+  }
+}
+BENCHMARK(bench_split)->Arg(528)->Arg(552)->Arg(575);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using scc::coll::imbalance_ratio;
+  using scc::coll::split_blocks;
+  using scc::coll::SplitPolicy;
+
+  std::cout << "\n=== Fig. 6: block sizes for p = 48 cores ===\n";
+  scc::Table table({"elements", "std first", "std general", "std ratio",
+                    "bal large", "bal small", "bal ratio"});
+  for (const std::size_t n :
+       {std::size_t{528}, std::size_t{552}, std::size_t{575}}) {
+    const auto standard = split_blocks(n, 48, SplitPolicy::kStandard);
+    const auto balanced = split_blocks(n, 48, SplitPolicy::kBalanced);
+    table.add_row({scc::strprintf("%zu", n),
+                   scc::strprintf("%zu", standard[0].count),
+                   scc::strprintf("%zu", standard[1].count),
+                   scc::strprintf("%.1f:1", imbalance_ratio(standard)),
+                   scc::strprintf("%zu", balanced[0].count),
+                   scc::strprintf("%zu", balanced[47].count),
+                   scc::strprintf("%.2f:1", imbalance_ratio(balanced))});
+  }
+  table.print(std::cout);
+
+  double worst_std = 1.0, worst_bal = 1.0;
+  for (std::size_t n = 500; n <= 700; ++n) {
+    worst_std = std::max(
+        worst_std, imbalance_ratio(split_blocks(n, 48, SplitPolicy::kStandard)));
+    worst_bal = std::max(
+        worst_bal, imbalance_ratio(split_blocks(n, 48, SplitPolicy::kBalanced)));
+  }
+  std::cout << scc::strprintf(
+      "\nworst case over 500..700 elements: standard %.1f:1, balanced "
+      "%.2f:1\n(paper: up to 5.3:1 vs at most 1.1:1)\n",
+      worst_std, worst_bal);
+  std::filesystem::create_directories("bench_results");
+  table.write_csv_file("bench_results/tab_block_split.csv");
+  return 0;
+}

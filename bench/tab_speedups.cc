@@ -1,0 +1,101 @@
+// Regenerates the paper's summary speedup statistics (Section V-A, last
+// paragraph): average speedup of the fully-optimized stack over the
+// RCCE_comm baseline for every collective, and the maximum pointwise
+// Allreduce speedup with the size at which it occurs.
+//
+// Uses a coarser sweep than the figure binaries (SCC_BENCH_STEP, default
+// 16) since only aggregate statistics are reported.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_support.hpp"
+#include "harness/sweep.hpp"
+
+namespace {
+
+using scc::harness::Collective;
+using scc::harness::PaperVariant;
+using scc::harness::SweepResult;
+using scc::harness::SweepSpec;
+
+SweepResult sweep_of(Collective coll) {
+  SweepSpec spec;
+  spec.collective = coll;
+  spec.from = scc::bench::env_size("SCC_BENCH_FROM", 500);
+  spec.to = scc::bench::env_size("SCC_BENCH_TO", 700);
+  spec.step = scc::bench::env_size("SCC_BENCH_STEP", 16);
+  spec.repetitions = static_cast<int>(scc::bench::env_size("SCC_BENCH_REPS", 2));
+  spec.warmup = 1;
+  spec.verify = false;
+  return scc::harness::run_sweep(spec);
+}
+
+void bench_sweep(benchmark::State& state, Collective coll,
+                 SweepResult* result_out) {
+  for (auto _ : state) {
+    *result_out = sweep_of(coll);
+    double total_us = 0.0;
+    for (const auto& pt : result_out->points)
+      for (const double us : pt.latency_us) total_us += us;
+    state.SetIterationTime(total_us * 1e-6);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Collective collectives[] = {
+      Collective::kAllgather, Collective::kAlltoall,
+      Collective::kReduceScatter, Collective::kBroadcast, Collective::kReduce,
+      Collective::kAllreduce};
+  static SweepResult results[6];
+  for (int i = 0; i < 6; ++i) {
+    const Collective coll = collectives[i];
+    const std::string name = std::string("sweep/") +
+                             std::string(scc::harness::collective_name(coll));
+    SweepResult* out = &results[i];
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [coll, out](benchmark::State& state) { bench_sweep(state, coll, out); })
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::cout << "\n=== Average speedups vs RCCE_comm blocking baseline "
+            << "(48 cores, 500..700 doubles) ===\n";
+  scc::Table table({"collective", "ircce", "lightweight", "best non-MPB",
+                    "paper (best)"});
+  const char* paper[] = {"~2.7-2.8x", "~1.6x", "n/a", "n/a", "~1.6x", "~1.7x+bal"};
+  for (int i = 0; i < 6; ++i) {
+    const auto& r = results[i];
+    const bool has_balanced =
+        std::find(r.variants.begin(), r.variants.end(),
+                  PaperVariant::kLwBalanced) != r.variants.end();
+    const PaperVariant best =
+        has_balanced ? PaperVariant::kLwBalanced : PaperVariant::kLightweight;
+    table.add_row(
+        {std::string(scc::harness::collective_name(collectives[i])),
+         scc::strprintf("%.2fx", r.mean_speedup_vs_blocking(PaperVariant::kIrcce)),
+         scc::strprintf("%.2fx",
+                        r.mean_speedup_vs_blocking(PaperVariant::kLightweight)),
+         scc::strprintf("%.2fx", r.mean_speedup_vs_blocking(best)),
+         paper[i]});
+  }
+  table.print(std::cout);
+
+  const auto& allreduce = results[5];
+  const auto [best, at] =
+      allreduce.max_speedup_vs_blocking(PaperVariant::kLwBalanced);
+  std::cout << scc::strprintf(
+      "\nmax Allreduce speedup (lw-balanced): %.2fx at %zu elements "
+      "(paper: 3.6x at 574)\n",
+      best, at);
+  std::filesystem::create_directories("bench_results");
+  table.write_csv_file("bench_results/tab_speedups.csv");
+  return 0;
+}

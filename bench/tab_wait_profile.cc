@@ -1,0 +1,129 @@
+// Regenerates the profiling observation that motivates Section IV-A:
+// "cores spend up to 50% of their time in the rcce_wait_until method".
+// Reports the per-phase time breakdown (max and mean over the 48 cores)
+// for an Allreduce under each variant, plus the GCMC application's
+// blocking-stack profile.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_support.hpp"
+#include "gcmc/app.hpp"
+#include "machine/profile.hpp"
+
+namespace {
+
+using scc::machine::CoreProfile;
+using scc::machine::Phase;
+using scc::harness::PaperVariant;
+
+struct Breakdown {
+  double wait_max_pct = 0.0;
+  double wait_mean_pct = 0.0;
+  double overhead_mean_pct = 0.0;
+  double transfer_mean_pct = 0.0;
+  double compute_mean_pct = 0.0;
+};
+
+Breakdown analyze(const std::vector<CoreProfile>& profiles) {
+  Breakdown b;
+  double wait_sum = 0.0, overhead_sum = 0.0, transfer_sum = 0.0,
+         compute_sum = 0.0;
+  for (const CoreProfile& p : profiles) {
+    const double total = p.total().seconds();
+    if (total <= 0.0) continue;
+    const double wait = p.get(Phase::kFlagWait).seconds() / total * 100.0;
+    b.wait_max_pct = std::max(b.wait_max_pct, wait);
+    wait_sum += wait;
+    overhead_sum += p.get(Phase::kSwOverhead).seconds() / total * 100.0;
+    transfer_sum += p.get(Phase::kMpbTransfer).seconds() / total * 100.0;
+    compute_sum += (p.get(Phase::kCompute) + p.get(Phase::kPrivMem)).seconds() /
+                   total * 100.0;
+  }
+  const double n = static_cast<double>(profiles.size());
+  b.wait_mean_pct = wait_sum / n;
+  b.overhead_mean_pct = overhead_sum / n;
+  b.transfer_mean_pct = transfer_sum / n;
+  b.compute_mean_pct = compute_sum / n;
+  return b;
+}
+
+std::vector<CoreProfile> allreduce_profiles(PaperVariant v) {
+  scc::harness::RunSpec spec;
+  spec.collective = scc::harness::Collective::kAllreduce;
+  spec.variant = v;
+  spec.elements = 552;
+  spec.repetitions = 3;
+  spec.warmup = 1;
+  spec.verify = false;
+  spec.collect_profiles = true;
+  return scc::harness::run_collective(spec).profiles;
+}
+
+void bench_profile(benchmark::State& state, PaperVariant v,
+                   Breakdown* out) {
+  for (auto _ : state) {
+    const auto profiles = allreduce_profiles(v);
+    *out = analyze(profiles);
+    state.SetIterationTime(profiles[0].total().seconds());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const PaperVariant variants[] = {PaperVariant::kBlocking,
+                                   PaperVariant::kIrcce,
+                                   PaperVariant::kLightweight,
+                                   PaperVariant::kLwBalanced,
+                                   PaperVariant::kMpb};
+  static Breakdown breakdowns[5];
+  for (int i = 0; i < 5; ++i) {
+    const PaperVariant v = variants[i];
+    Breakdown* out = &breakdowns[i];
+    const std::string name = std::string("profile/") +
+                             std::string(scc::harness::variant_name(v));
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [v, out](benchmark::State& state) { bench_profile(state, v, out); })
+        ->UseManualTime()
+        ->Unit(benchmark::kMicrosecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::cout << "\n=== Per-core time breakdown, Allreduce(552) on 48 cores ===\n";
+  scc::Table table({"variant", "wait max", "wait mean", "sw-overhead",
+                    "mpb-transfer", "compute+mem"});
+  for (int i = 0; i < 5; ++i) {
+    const Breakdown& b = breakdowns[i];
+    table.add_row({std::string(scc::harness::variant_name(variants[i])),
+                   scc::strprintf("%.0f%%", b.wait_max_pct),
+                   scc::strprintf("%.0f%%", b.wait_mean_pct),
+                   scc::strprintf("%.0f%%", b.overhead_mean_pct),
+                   scc::strprintf("%.0f%%", b.transfer_mean_pct),
+                   scc::strprintf("%.0f%%", b.compute_mean_pct)});
+  }
+  table.print(std::cout);
+
+  // The paper's actual profile subject: the application on the blocking
+  // stack ("up to 50% of their time in rcce_wait_until").
+  scc::gcmc::AppParams params;
+  params.model.kmaxvecs = 276;
+  params.particles_total = 240;
+  params.max_local_particles = 12;
+  params.cycles = static_cast<int>(scc::bench::env_size("SCC_BENCH_CYCLES", 8));
+  const auto app =
+      scc::gcmc::run_app(params, PaperVariant::kBlocking);
+  const Breakdown b = analyze(app.profiles);
+  std::cout << scc::strprintf(
+      "\nGCMC application, blocking stack: wait max %.0f%% / mean %.0f%% of "
+      "core time (paper: up to 50%%)\n",
+      b.wait_max_pct, b.wait_mean_pct);
+  std::filesystem::create_directories("bench_results");
+  table.write_csv_file("bench_results/tab_wait_profile.csv");
+  return 0;
+}

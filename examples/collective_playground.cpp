@@ -1,0 +1,103 @@
+// Interactive experiment driver: run any collective under any variant on
+// any mesh shape and inspect latency, per-phase profile, event count and
+// NoC traffic -- the knobs a user turns when exploring the library.
+//
+// Usage:
+//   collective_playground [--collective allreduce|allgather|alltoall|
+//                           reducescatter|broadcast|reduce]
+//                         [--variant blocking|ircce|lightweight|lw-balanced|
+//                           mpb|rckmpi]
+//                         [--elements N] [--reps K] [--mesh 6x4] [--no-bug]
+//                         [--profile]
+#include <cstdio>
+#include <exception>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "harness/runner.hpp"
+
+namespace {
+
+using scc::harness::Collective;
+using scc::harness::PaperVariant;
+
+Collective parse_collective(const std::string& name) {
+  for (const Collective c :
+       {Collective::kAllgather, Collective::kAlltoall,
+        Collective::kReduceScatter, Collective::kBroadcast, Collective::kReduce,
+        Collective::kAllreduce}) {
+    if (name == scc::harness::collective_name(c)) return c;
+  }
+  throw std::runtime_error("unknown collective: " + name);
+}
+
+PaperVariant parse_variant(const std::string& name) {
+  for (const PaperVariant v :
+       {PaperVariant::kRckmpi, PaperVariant::kBlocking, PaperVariant::kIrcce,
+        PaperVariant::kLightweight, PaperVariant::kLwBalanced,
+        PaperVariant::kMpb}) {
+    if (name == scc::harness::variant_name(v)) return v;
+  }
+  throw std::runtime_error("unknown variant: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scc;
+  try {
+    const CliFlags flags = CliFlags::parse(argc, argv);
+    harness::RunSpec spec;
+    spec.collective = parse_collective(flags.get("collective", "allreduce"));
+    spec.variant = parse_variant(flags.get("variant", "lw-balanced"));
+    spec.elements = static_cast<std::size_t>(flags.get_int("elements", 552));
+    spec.repetitions = static_cast<int>(flags.get_int("reps", 4));
+    spec.collect_profiles = flags.get_bool("profile", false);
+    const auto mesh = split(flags.get("mesh", "6x4"), 'x');
+    if (mesh.size() != 2) throw std::runtime_error("--mesh expects WxH");
+    spec.config.tiles_x = std::stoi(mesh[0]);
+    spec.config.tiles_y = std::stoi(mesh[1]);
+    if (flags.get_bool("no-bug", false)) {
+      spec.config.cost.hw.mpb_bug_workaround = false;
+    }
+
+    const harness::RunResult result = harness::run_collective(spec);
+    std::printf("%s / %s, %zu doubles on %d cores (%sx%s tiles)\n",
+                std::string(harness::collective_name(spec.collective)).c_str(),
+                std::string(harness::variant_name(spec.variant)).c_str(),
+                spec.elements, spec.config.num_cores(), mesh[0].c_str(),
+                mesh[1].c_str());
+    std::printf("  mean latency : %s\n",
+                format_duration_us(result.mean_latency.us()).c_str());
+    std::printf("  min / max    : %s / %s\n",
+                format_duration_us(result.min_latency.us()).c_str(),
+                format_duration_us(result.max_latency.us()).c_str());
+    std::printf("  verified     : %s\n", result.verified ? "yes" : "skipped");
+    std::printf("  sim events   : %llu\n",
+                static_cast<unsigned long long>(result.events));
+
+    if (spec.collect_profiles) {
+      std::printf("\nper-phase share of core time (mean over cores):\n");
+      for (int ph = 0; ph < static_cast<int>(machine::Phase::kCount); ++ph) {
+        double sum = 0.0;
+        for (const auto& p : result.profiles) {
+          const double total = p.total().seconds();
+          if (total > 0.0) {
+            sum += p.get(static_cast<machine::Phase>(ph)).seconds() / total;
+          }
+        }
+        std::printf("  %-13s %5.1f%%\n",
+                    std::string(machine::phase_name(
+                                    static_cast<machine::Phase>(ph)))
+                        .c_str(),
+                    sum / static_cast<double>(result.profiles.size()) * 100.0);
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,47 @@
+#include "coll/block_split.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace scc::coll {
+
+std::vector<Block> split_blocks(std::size_t n, int p, SplitPolicy policy) {
+  SCC_EXPECTS(p > 0);
+  std::vector<Block> blocks(static_cast<std::size_t>(p));
+  const std::size_t general = n / static_cast<std::size_t>(p);
+  const std::size_t remainder = n % static_cast<std::size_t>(p);
+  std::size_t offset = 0;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    std::size_t count = general;
+    if (policy == SplitPolicy::kStandard) {
+      if (b == 0) count += remainder;
+    } else {
+      if (b < remainder) count += 1;
+    }
+    blocks[b] = {offset, count};
+    offset += count;
+  }
+  SCC_ENSURES(offset == n);
+  return blocks;
+}
+
+double imbalance_ratio(const std::vector<Block>& blocks) {
+  std::size_t max_count = 0;
+  std::size_t min_count = 0;
+  bool any = false;
+  for (const Block& b : blocks) {
+    if (b.count == 0) continue;
+    if (!any) {
+      max_count = min_count = b.count;
+      any = true;
+    } else {
+      max_count = std::max(max_count, b.count);
+      min_count = std::min(min_count, b.count);
+    }
+  }
+  if (!any || min_count == 0) return 1.0;
+  return static_cast<double>(max_count) / static_cast<double>(min_count);
+}
+
+}  // namespace scc::coll

@@ -1,0 +1,37 @@
+// Vector-to-block splitting policies (the paper's Section IV-C).
+//
+// Ring-based collectives split an n-element vector into p blocks that form
+// the unit of communication and computation. RCCE_comm's standard policy
+// makes every block floor(n/p) elements and glues the entire remainder
+// onto block 0 -- up to 5.3x larger than the rest (Fig. 6a), which stalls
+// every other core for most of each round. The balanced policy gives the
+// first (n mod p) blocks one extra element, bounding the imbalance at one
+// element (<= 1.1x for the paper's sizes, Fig. 6b).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace scc::coll {
+
+enum class SplitPolicy {
+  kStandard,  // RCCE_comm: block 0 absorbs the whole remainder
+  kBalanced   // paper: first (n mod p) blocks get one extra element
+};
+
+struct Block {
+  std::size_t offset = 0;  // first element index
+  std::size_t count = 0;   // number of elements
+};
+
+/// Partition [0, n) into p contiguous blocks under `policy`.
+/// Invariants (tested): blocks tile [0, n) exactly, in order; balanced
+/// blocks differ by at most one element.
+[[nodiscard]] std::vector<Block> split_blocks(std::size_t n, int p,
+                                              SplitPolicy policy);
+
+/// max(count)/min(count) over nonzero-size partitions; 1.0 when perfectly
+/// even. Used to regenerate the Fig. 6 ratio table.
+[[nodiscard]] double imbalance_ratio(const std::vector<Block>& blocks);
+
+}  // namespace scc::coll

@@ -1,0 +1,498 @@
+#include "coll/collectives.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/aligned.hpp"
+
+namespace scc::coll {
+
+namespace {
+
+[[nodiscard]] std::span<const std::byte> as_b(std::span<const double> s) {
+  return std::as_bytes(s);
+}
+[[nodiscard]] std::span<std::byte> as_b(std::span<double> s) {
+  return std::as_writable_bytes(s);
+}
+
+/// Charged local element copy (used for self blocks / initial copies).
+sim::Task<> charged_copy(machine::CoreApi& api, std::span<const double> src,
+                         std::span<double> dst) {
+  SCC_EXPECTS(src.size() == dst.size());
+  if (src.empty()) co_return;
+  co_await api.priv_read(src.data(), src.size_bytes());
+  std::copy(src.begin(), src.end(), dst.begin());
+  co_await api.compute(src.size() * api.cost().sw.copy_cycles_per_element);
+  co_await api.priv_write(dst.data(), dst.size_bytes());
+}
+
+/// Ring ReduceScatter kernel (paper Fig. 2). `work` must already contain
+/// this core's input. After p-1 rounds, block (rank+1)%p of `work` holds
+/// the full reduction.
+sim::Task<> ring_reduce_scatter(Stack& stack, std::span<double> work,
+                                ReduceOp op, const std::vector<Block>& blocks) {
+  auto& api = stack.api();
+  const int p = stack.num_cores();
+  const int rank = stack.rank();
+  const int right = (rank + 1) % p;
+  const int left = (rank + p - 1) % p;
+  std::size_t max_count = 0;
+  for (const Block& b : blocks) max_count = std::max(max_count, b.count);
+  std::span<double> tmp = stack.scratch(max_count, 0);
+  for (int r = 0; r < p - 1; ++r) {
+    co_await api.overhead(api.cost().sw.coll_round);
+    const Block& sb = blocks[static_cast<std::size_t>((rank - r + p) % p)];
+    const Block& rb = blocks[static_cast<std::size_t>((rank - r - 1 + p) % p)];
+    std::span<double> recv_tmp = tmp.subspan(0, rb.count);
+    co_await stack.exchange(as_b(work.subspan(sb.offset, sb.count)), right,
+                            as_b(recv_tmp), left);
+    co_await rcce::apply_reduce(api, recv_tmp,
+                                work.subspan(rb.offset, rb.count), op);
+  }
+}
+
+/// Ring Allgather of the blocks of `data`, where core i initially holds
+/// block (i + off) mod p. After p-1 rounds every core holds every block.
+sim::Task<> ring_allgather_blocks(Stack& stack, std::span<double> data,
+                                  const std::vector<Block>& blocks, int off) {
+  auto& api = stack.api();
+  const int p = stack.num_cores();
+  const int rank = stack.rank();
+  const int right = (rank + 1) % p;
+  const int left = (rank + p - 1) % p;
+  for (int r = 0; r < p - 1; ++r) {
+    co_await api.overhead(api.cost().sw.coll_round);
+    const Block& sb =
+        blocks[static_cast<std::size_t>(((rank + off - r) % p + p) % p)];
+    const Block& rb =
+        blocks[static_cast<std::size_t>(((rank + off - r - 1) % p + p) % p)];
+    co_await stack.exchange(as_b(std::span<const double>(
+                                data.subspan(sb.offset, sb.count))),
+                            right, as_b(data.subspan(rb.offset, rb.count)),
+                            left);
+  }
+}
+
+/// Binomial-tree reduce of the full vector to `root` (RCCE_comm's
+/// short-vector variant; used when n < p so the ring would degenerate to
+/// empty blocks).
+sim::Task<> reduce_binomial(Stack& stack, std::span<const double> in,
+                            std::span<double> out, ReduceOp op, int root) {
+  auto& api = stack.api();
+  const int p = stack.num_cores();
+  const int rel = (stack.rank() - root + p) % p;
+  std::span<double> acc = stack.scratch(in.size(), 1);
+  std::copy(in.begin(), in.end(), acc.begin());
+  co_await api.priv_read(in.data(), in.size_bytes());
+  co_await api.priv_write(acc.data(), acc.size_bytes());
+  std::span<double> tmp = stack.scratch(in.size(), 2);
+  int mask = 1;
+  while (mask < p) {
+    if (rel & mask) {
+      const int dst = (rel - mask + root + p) % p;
+      co_await stack.send(as_b(std::span<const double>(acc.data(), acc.size())),
+                          dst);
+      break;
+    }
+    if (rel + mask < p) {
+      const int src = (rel + mask + root) % p;
+      co_await stack.recv(as_b(tmp), src);
+      co_await rcce::apply_reduce(api, tmp, acc, op);
+    }
+    mask <<= 1;
+  }
+  if (rel == 0) {
+    co_await charged_copy(api, acc, out);
+  }
+}
+
+/// Binomial-tree broadcast (shared with the Broadcast short path).
+sim::Task<> bcast_binomial_short(Stack& stack, std::span<double> data,
+                                 int root) {
+  const int p = stack.num_cores();
+  const int rel = (stack.rank() - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (rel & mask) {
+      const int src = (rel - mask + root + p) % p;
+      co_await stack.recv(as_b(data), src);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < p) {
+      const int dst = (rel + mask + root) % p;
+      co_await stack.send(as_b(std::span<const double>(data)), dst);
+    }
+    mask >>= 1;
+  }
+  co_return;
+}
+
+}  // namespace
+
+sim::Task<> allgather(Stack& stack, std::span<const double> contribution,
+                      std::span<double> gathered) {
+  auto& api = stack.api();
+  const int p = stack.num_cores();
+  const int rank = stack.rank();
+  const std::size_t n = contribution.size();
+  SCC_EXPECTS(gathered.size() == n * static_cast<std::size_t>(p));
+  co_await api.overhead(api.cost().sw.coll_call);
+  co_await charged_copy(api, contribution,
+                        gathered.subspan(static_cast<std::size_t>(rank) * n, n));
+  if (p == 1) co_return;
+  const int right = (rank + 1) % p;
+  const int left = (rank + p - 1) % p;
+  for (int r = 0; r < p - 1; ++r) {
+    co_await api.overhead(api.cost().sw.coll_round);
+    const auto send_of = static_cast<std::size_t>((rank - r + p) % p);
+    const auto recv_of = static_cast<std::size_t>((rank - r - 1 + p) % p);
+    co_await stack.exchange(
+        as_b(std::span<const double>(gathered.subspan(send_of * n, n))), right,
+        as_b(gathered.subspan(recv_of * n, n)), left);
+  }
+}
+
+sim::Task<> alltoall(Stack& stack, std::span<const double> sendbuf,
+                     std::span<double> recvbuf) {
+  auto& api = stack.api();
+  const int p = stack.num_cores();
+  const int rank = stack.rank();
+  SCC_EXPECTS(sendbuf.size() == recvbuf.size());
+  SCC_EXPECTS(sendbuf.size() % static_cast<std::size_t>(p) == 0);
+  const std::size_t n = sendbuf.size() / static_cast<std::size_t>(p);
+  co_await api.overhead(api.cost().sw.coll_call);
+  // Tournament pairing: in round r, i exchanges with the j solving
+  // i + j == r (mod p); pairs are disjoint, so the schedule is contention-
+  // and deadlock-free. When the round pairs a core with itself it copies
+  // its own block locally.
+  for (int r = 0; r < p; ++r) {
+    co_await api.overhead(api.cost().sw.coll_round);
+    const int partner = ((r - rank) % p + p) % p;
+    const auto soff = static_cast<std::size_t>(partner) * n;
+    const auto roff = static_cast<std::size_t>(partner) * n;
+    if (partner == rank) {
+      co_await charged_copy(api, sendbuf.subspan(soff, n),
+                            recvbuf.subspan(roff, n));
+      continue;
+    }
+    co_await stack.exchange_pair(as_b(sendbuf.subspan(soff, n)),
+                                 as_b(recvbuf.subspan(roff, n)), partner);
+  }
+}
+
+sim::Task<int> reduce_scatter(Stack& stack, std::span<const double> in,
+                              std::span<double> out, ReduceOp op,
+                              SplitPolicy policy) {
+  auto& api = stack.api();
+  const int p = stack.num_cores();
+  const int rank = stack.rank();
+  SCC_EXPECTS(out.size() == in.size());
+  co_await api.overhead(api.cost().sw.coll_call);
+  co_await charged_copy(api, in, out);
+  if (p == 1) co_return 0;
+  const auto blocks = split_blocks(in.size(), p, policy);
+  co_await ring_reduce_scatter(stack, out, op, blocks);
+  co_return (rank + 1) % p;
+}
+
+sim::Task<> reduce(Stack& stack, std::span<const double> in,
+                   std::span<double> out, ReduceOp op, int root,
+                   SplitPolicy policy) {
+  auto& api = stack.api();
+  const int p = stack.num_cores();
+  const int rank = stack.rank();
+  SCC_EXPECTS(root >= 0 && root < p);
+  co_await api.overhead(api.cost().sw.coll_call);
+  if (p == 1) {
+    co_await charged_copy(api, in, out);
+    co_return;
+  }
+  if (in.size() < static_cast<std::size_t>(p)) {
+    co_await reduce_binomial(stack, in, out, op, root);
+    co_return;
+  }
+  // Phase 1: ring ReduceScatter over a scratch copy of the input.
+  std::span<double> work = stack.scratch(in.size(), 1);
+  co_await charged_copy(api, in, work);
+  const auto blocks = split_blocks(in.size(), p, policy);
+  co_await ring_reduce_scatter(stack, work, op, blocks);
+  // Phase 2: linear gather of the reduced blocks to the root. Core j owns
+  // block (j+1)%p; the root drains peers in ring order.
+  if (rank == root) {
+    const Block& own = blocks[static_cast<std::size_t>((root + 1) % p)];
+    co_await charged_copy(api, work.subspan(own.offset, own.count),
+                          out.subspan(own.offset, own.count));
+    for (int k = 1; k < p; ++k) {
+      const int src = (root + k) % p;
+      const Block& b = blocks[static_cast<std::size_t>((src + 1) % p)];
+      co_await stack.recv(as_b(out.subspan(b.offset, b.count)), src);
+    }
+  } else {
+    const Block& own = blocks[static_cast<std::size_t>((rank + 1) % p)];
+    co_await stack.send(
+        as_b(std::span<const double>(work.subspan(own.offset, own.count))),
+        root);
+  }
+}
+
+sim::Task<> allreduce(Stack& stack, std::span<const double> in,
+                      std::span<double> out, ReduceOp op, SplitPolicy policy) {
+  auto& api = stack.api();
+  const int p = stack.num_cores();
+  SCC_EXPECTS(out.size() == in.size());
+  co_await api.overhead(api.cost().sw.coll_call);
+  if (p > 1 && in.size() < static_cast<std::size_t>(p)) {
+    // Short vectors: binomial reduce to 0 + binomial broadcast
+    // (RCCE_comm's small-message variant).
+    co_await reduce_binomial(stack, in, out, op, 0);
+    co_await bcast_binomial_short(stack, out, 0);
+    co_return;
+  }
+  co_await charged_copy(api, in, out);
+  if (p == 1) co_return;
+  const auto blocks = split_blocks(in.size(), p, policy);
+  co_await ring_reduce_scatter(stack, out, op, blocks);
+  // Core i now owns reduced block (i+1)%p -> allgather with offset 1.
+  co_await ring_allgather_blocks(stack, out, blocks, 1);
+}
+
+namespace {
+
+/// Binomial-tree broadcast of the full vector (short messages).
+sim::Task<> bcast_binomial(Stack& stack, std::span<double> data, int root) {
+  const int p = stack.num_cores();
+  const int rank = stack.rank();
+  const int rel = (rank - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (rel & mask) {
+      const int src = (rel - mask + root + p) % p;
+      co_await stack.recv(as_b(data), src);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < p) {
+      const int dst = (rel + mask + root) % p;
+      co_await stack.send(as_b(std::span<const double>(data)), dst);
+    }
+    mask >>= 1;
+  }
+  co_return;
+}
+
+/// Binomial-tree scatter: after it, the core with relative rank r holds
+/// block r (relative to root) of `data`.
+sim::Task<> scatter_binomial(Stack& stack, std::span<double> data,
+                             const std::vector<Block>& blocks, int root) {
+  const int p = stack.num_cores();
+  const int rank = stack.rank();
+  const int rel = (rank - root + p) % p;
+  const auto range_bytes = [&](int lo, int hi) {
+    // Element range covering relative blocks [lo, hi).
+    hi = std::min(hi, p);
+    const std::size_t first = blocks[static_cast<std::size_t>(lo)].offset;
+    const Block& last = blocks[static_cast<std::size_t>(hi - 1)];
+    return data.subspan(first, last.offset + last.count - first);
+  };
+  int recv_mask = 0;
+  if (rel != 0) {
+    int mask = 1;
+    while ((rel & mask) == 0) mask <<= 1;
+    const int src = (rel - mask + root + p) % p;
+    co_await stack.recv(as_b(range_bytes(rel, rel + mask)), src);
+    recv_mask = mask;
+  } else {
+    recv_mask = 1;
+    while (recv_mask < p) recv_mask <<= 1;
+  }
+  for (int mask = recv_mask >> 1; mask > 0; mask >>= 1) {
+    if (rel + mask < p) {
+      const int dst = (rel + mask + root) % p;
+      auto span = range_bytes(rel + mask, rel + 2 * mask);
+      co_await stack.send(as_b(std::span<const double>(span)), dst);
+    }
+  }
+  co_return;
+}
+
+}  // namespace
+
+sim::Task<> broadcast(Stack& stack, std::span<double> data, int root,
+                      SplitPolicy policy) {
+  auto& api = stack.api();
+  const int p = stack.num_cores();
+  const int rank = stack.rank();
+  SCC_EXPECTS(root >= 0 && root < p);
+  co_await api.overhead(api.cost().sw.coll_call);
+  if (p == 1) co_return;
+  if (data.size() < kBcastScatterThreshold ||
+      data.size() < static_cast<std::size_t>(p)) {
+    co_await bcast_binomial(stack, data, root);
+    co_return;
+  }
+  // Long-vector path: binomial scatter + ring allgather of blocks. Blocks
+  // are indexed relative to the root: relative rank r ends the scatter
+  // holding relative block r, i.e. core i holds block (i - root) mod p.
+  // Relative block b covers the same element range for every policy, so the
+  // split policy shapes the load balance exactly as in Section IV-C.
+  const auto blocks = split_blocks(data.size(), p, policy);
+  co_await scatter_binomial(stack, data, blocks, root);
+  // Core i now holds block (i - root) mod p: ring-allgather with offset
+  // -root (mod p).
+  co_await ring_allgather_blocks(stack, data, blocks, (p - root % p) % p);
+  (void)rank;
+}
+
+
+sim::Task<> scatter(Stack& stack, std::span<const double> send,
+                    std::span<double> recv, int root) {
+  auto& api = stack.api();
+  const int p = stack.num_cores();
+  const int rank = stack.rank();
+  const std::size_t n = recv.size();
+  SCC_EXPECTS(root >= 0 && root < p);
+  SCC_EXPECTS(rank != root || send.size() == n * static_cast<std::size_t>(p));
+  co_await api.overhead(api.cost().sw.coll_call);
+  if (p == 1) {
+    co_await charged_copy(api, send.first(n), recv);
+    co_return;
+  }
+  // Work in RELATIVE block space (block j belongs to core (root+j)%p) so
+  // every binomial subtree covers a contiguous range; the root rotates its
+  // rank-major buffer into that order first.
+  const int rel = (rank - root + p) % p;
+  std::span<double> work =
+      stack.scratch(n * static_cast<std::size_t>(p), 1);
+  if (rank == root) {
+    for (int j = 0; j < p; ++j) {
+      const auto src = static_cast<std::size_t>((root + j) % p) * n;
+      std::copy_n(send.data() + src, n,
+                  work.data() + static_cast<std::size_t>(j) * n);
+    }
+    co_await api.priv_read(send.data(), send.size_bytes());
+    co_await api.priv_write(work.data(), work.size_bytes());
+  }
+  int recv_mask = 0;
+  if (rel != 0) {
+    int mask = 1;
+    while ((rel & mask) == 0) mask <<= 1;
+    const int src_core = (rel - mask + root + p) % p;
+    const int hi = std::min(rel + mask, p);
+    co_await stack.recv(
+        as_b(work.subspan(static_cast<std::size_t>(rel) * n,
+                          static_cast<std::size_t>(hi - rel) * n)),
+        src_core);
+    recv_mask = mask;
+  } else {
+    recv_mask = 1;
+    while (recv_mask < p) recv_mask <<= 1;
+  }
+  for (int mask = recv_mask >> 1; mask > 0; mask >>= 1) {
+    if (rel + mask < p) {
+      const int dst = (rel + mask + root) % p;
+      const int hi = std::min(rel + 2 * mask, p);
+      co_await stack.send(
+          as_b(std::span<const double>(
+              work.subspan(static_cast<std::size_t>(rel + mask) * n,
+                           static_cast<std::size_t>(hi - rel - mask) * n))),
+          dst);
+    }
+  }
+  co_await charged_copy(
+      api, work.subspan(static_cast<std::size_t>(rel) * n, n), recv);
+}
+
+sim::Task<> gather(Stack& stack, std::span<const double> send,
+                   std::span<double> recv, int root) {
+  auto& api = stack.api();
+  const int p = stack.num_cores();
+  const int rank = stack.rank();
+  const std::size_t n = send.size();
+  SCC_EXPECTS(root >= 0 && root < p);
+  SCC_EXPECTS(rank != root || recv.size() == n * static_cast<std::size_t>(p));
+  co_await api.overhead(api.cost().sw.coll_call);
+  if (p == 1) {
+    co_await charged_copy(api, send, recv.first(n));
+    co_return;
+  }
+  const int rel = (rank - root + p) % p;
+  std::span<double> work =
+      stack.scratch(n * static_cast<std::size_t>(p), 1);
+  co_await charged_copy(api, send,
+                        work.subspan(static_cast<std::size_t>(rel) * n, n));
+  // Mirror of the binomial scatter: children push their accumulated
+  // relative range up toward the root.
+  int mask = 1;
+  while (mask < p) {
+    if (rel & mask) {
+      const int dst = (rel - mask + root + p) % p;
+      const int hi = std::min(rel + mask, p);
+      co_await stack.send(
+          as_b(std::span<const double>(
+              work.subspan(static_cast<std::size_t>(rel) * n,
+                           static_cast<std::size_t>(hi - rel) * n))),
+          dst);
+      break;
+    }
+    if (rel + mask < p) {
+      const int src_core = (rel + mask + root) % p;
+      const int hi = std::min(rel + 2 * mask, p);
+      co_await stack.recv(
+          as_b(work.subspan(static_cast<std::size_t>(rel + mask) * n,
+                            static_cast<std::size_t>(hi - rel - mask) * n)),
+          src_core);
+    }
+    mask <<= 1;
+  }
+  if (rank == root) {
+    // Rotate relative block order back to rank-major.
+    for (int j = 0; j < p; ++j) {
+      const auto dst = static_cast<std::size_t>((root + j) % p) * n;
+      std::copy_n(work.data() + static_cast<std::size_t>(j) * n, n,
+                  recv.data() + dst);
+    }
+    co_await api.priv_read(work.data(), work.size_bytes());
+    co_await api.priv_write(recv.data(), recv.size_bytes());
+  }
+}
+
+sim::Task<> allgatherv(Stack& stack, std::span<const double> contribution,
+                       std::span<const std::size_t> counts,
+                       std::span<double> gathered) {
+  auto& api = stack.api();
+  const int p = stack.num_cores();
+  const int rank = stack.rank();
+  SCC_EXPECTS(counts.size() == static_cast<std::size_t>(p));
+  SCC_EXPECTS(contribution.size() == counts[static_cast<std::size_t>(rank)]);
+  // Per-core blocks at prefix-sum offsets.
+  std::vector<Block> blocks(static_cast<std::size_t>(p));
+  std::size_t offset = 0;
+  for (int i = 0; i < p; ++i) {
+    blocks[static_cast<std::size_t>(i)] = {offset,
+                                           counts[static_cast<std::size_t>(i)]};
+    offset += counts[static_cast<std::size_t>(i)];
+  }
+  SCC_EXPECTS(gathered.size() == offset);
+  co_await api.overhead(api.cost().sw.coll_call);
+  const Block& mine = blocks[static_cast<std::size_t>(rank)];
+  co_await charged_copy(api, contribution,
+                        gathered.subspan(mine.offset, mine.count));
+  if (p == 1) co_return;
+  // Ring: core i initially holds block i (offset 0 in the table).
+  co_await ring_allgather_blocks(stack, gathered, blocks, 0);
+}
+
+sim::Task<> barrier(Stack& stack) {
+  co_await stack.api().overhead(stack.api().cost().sw.coll_call);
+  co_await stack.barrier();
+}
+
+}  // namespace scc::coll

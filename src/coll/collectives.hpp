@@ -1,0 +1,86 @@
+// RCCE_comm-style collective operations, written once and parameterized by
+// (a) the point-to-point primitive layer (Stack: blocking / iRCCE /
+// lightweight) and (b) the block-split policy (standard / balanced) -- the
+// two orthogonal optimization axes of the paper. All functions are SPMD:
+// every core calls the same function with its own Stack and buffers.
+//
+// Algorithms (matching Section III/IV's description of RCCE_comm):
+//   ReduceScatter  -- bucket/ring algorithm (Fig. 2)
+//   Allgather      -- ring over full per-core contributions
+//   Allreduce      -- ReduceScatter + ring Allgather of the reduced blocks
+//   Reduce         -- ReduceScatter + linear gather of blocks to the root
+//   Broadcast      -- binomial-tree scatter + ring Allgather (long vectors);
+//                     binomial tree of the whole vector (short vectors)
+//   Alltoall       -- pairwise exchange rounds (tournament pairing)
+//
+// Element type is double (the paper's benchmarks use 8-byte doubles; four
+// per 32-byte cache line, which produces the period-4 latency spikes).
+#pragma once
+
+#include <span>
+
+#include "coll/block_split.hpp"
+#include "coll/stack.hpp"
+#include "rcce/rcce.hpp"
+#include "sim/task.hpp"
+
+namespace scc::coll {
+
+using rcce::ReduceOp;
+
+/// Below this element count Broadcast uses a plain binomial tree instead of
+/// scatter + allgather (mirrors RCCE_comm's size switch).
+inline constexpr std::size_t kBcastScatterThreshold = 128;
+
+/// Gathers each core's `contribution` (n elements) from all p cores into
+/// `gathered` (p*n elements, rank-major).
+sim::Task<> allgather(Stack& stack, std::span<const double> contribution,
+                      std::span<double> gathered);
+
+/// Personalized all-to-all: `sendbuf` holds p blocks of n elements (one per
+/// destination); `recvbuf` receives p blocks of n elements (one per
+/// source). n = sendbuf.size()/p.
+sim::Task<> alltoall(Stack& stack, std::span<const double> sendbuf,
+                     std::span<double> recvbuf);
+
+/// Ring ReduceScatter: fully reduces one block per core. `out` must have n
+/// elements; only the owned block's range is written. Returns the owned
+/// block index ((rank+1) mod p, an artefact of the ring direction).
+sim::Task<int> reduce_scatter(Stack& stack, std::span<const double> in,
+                              std::span<double> out, ReduceOp op,
+                              SplitPolicy policy);
+
+/// Reduction to `root`: out is written at the root only.
+sim::Task<> reduce(Stack& stack, std::span<const double> in,
+                   std::span<double> out, ReduceOp op, int root,
+                   SplitPolicy policy);
+
+/// Reduction to all cores.
+sim::Task<> allreduce(Stack& stack, std::span<const double> in,
+                      std::span<double> out, ReduceOp op, SplitPolicy policy);
+
+/// Broadcast of `data` from `root` to everyone.
+sim::Task<> broadcast(Stack& stack, std::span<double> data, int root,
+                      SplitPolicy policy);
+
+/// Scatter: the root's `send` (n*p elements, rank-major) is distributed so
+/// that core i receives block i into `recv` (n elements). Binomial tree.
+sim::Task<> scatter(Stack& stack, std::span<const double> send,
+                    std::span<double> recv, int root);
+
+/// Gather: every core's `send` (n elements) is collected rank-major into
+/// the root's `recv` (n*p elements). Binomial tree (mirror of scatter).
+sim::Task<> gather(Stack& stack, std::span<const double> send,
+                   std::span<double> recv, int root);
+
+/// Ring Allgather with per-core contribution sizes (the v-variant):
+/// `counts[i]` elements from core i land at offset sum(counts[0..i)) of
+/// `gathered`. Generalizes allgather to irregular decompositions.
+sim::Task<> allgatherv(Stack& stack, std::span<const double> contribution,
+                       std::span<const std::size_t> counts,
+                       std::span<double> gathered);
+
+/// Barrier over the selected stack's flags (dissemination).
+sim::Task<> barrier(Stack& stack);
+
+}  // namespace scc::coll

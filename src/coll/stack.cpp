@@ -1,0 +1,86 @@
+#include "coll/stack.hpp"
+
+#include <array>
+
+namespace scc::coll {
+
+sim::Task<> Stack::exchange(std::span<const std::byte> sbuf, int dest,
+                            std::span<std::byte> rbuf, int src) {
+  switch (prims_) {
+    case Prims::kBlocking: {
+      // Odd-even ordering (paper Fig. 4): odd IDs receive first.
+      if (rank() % 2 == 1) {
+        co_await rcce_.recv(rbuf, src);
+        co_await rcce_.send(sbuf, dest);
+      } else {
+        co_await rcce_.send(sbuf, dest);
+        co_await rcce_.recv(rbuf, src);
+      }
+      co_return;
+    }
+    case Prims::kIrcce: {
+      const auto sid = co_await ircce_->isend(sbuf, dest);
+      const auto rid = co_await ircce_->irecv(rbuf, src);
+      const std::array<ircce::RequestId, 2> ids{sid, rid};
+      co_await ircce_->wait_all(ids);
+      co_return;
+    }
+    case Prims::kLightweight: {
+      co_await lwnb_->isend(sbuf, dest);
+      co_await lwnb_->irecv(rbuf, src);
+      co_await lwnb_->wait_both();
+      co_return;
+    }
+  }
+}
+
+sim::Task<> Stack::exchange_pair(std::span<const std::byte> sbuf,
+                                 std::span<std::byte> rbuf, int partner) {
+  if (prims_ != Prims::kBlocking) {
+    co_await exchange(sbuf, partner, rbuf, partner);
+    co_return;
+  }
+  if (rank() < partner) {
+    co_await rcce_.send(sbuf, partner);
+    co_await rcce_.recv(rbuf, partner);
+  } else {
+    co_await rcce_.recv(rbuf, partner);
+    co_await rcce_.send(sbuf, partner);
+  }
+}
+
+sim::Task<> Stack::send(std::span<const std::byte> data, int dest) {
+  switch (prims_) {
+    case Prims::kBlocking:
+      co_await rcce_.send(data, dest);
+      co_return;
+    case Prims::kIrcce: {
+      const auto sid = co_await ircce_->isend(data, dest);
+      co_await ircce_->wait(sid);
+      co_return;
+    }
+    case Prims::kLightweight:
+      co_await lwnb_->isend(data, dest);
+      co_await lwnb_->wait_send();
+      co_return;
+  }
+}
+
+sim::Task<> Stack::recv(std::span<std::byte> data, int src) {
+  switch (prims_) {
+    case Prims::kBlocking:
+      co_await rcce_.recv(data, src);
+      co_return;
+    case Prims::kIrcce: {
+      const auto rid = co_await ircce_->irecv(data, src);
+      co_await ircce_->wait(rid);
+      co_return;
+    }
+    case Prims::kLightweight:
+      co_await lwnb_->irecv(data, src);
+      co_await lwnb_->wait_recv();
+      co_return;
+  }
+}
+
+}  // namespace scc::coll

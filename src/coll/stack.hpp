@@ -1,0 +1,97 @@
+// Per-core communication stack for the collectives, parameterized over the
+// point-to-point primitive layer. Selecting the layer changes ONLY the
+// synchronization structure and software overhead of each exchange -- the
+// wire protocol and data results are identical -- which is exactly the
+// comparison the paper makes.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "common/aligned.hpp"
+
+#include "ircce/ircce.hpp"
+#include "lwnb/lwnb.hpp"
+#include "rcce/rcce.hpp"
+#include "sim/task.hpp"
+
+namespace scc::coll {
+
+enum class Prims {
+  kBlocking,     // RCCE send/recv with odd-even ordering (Fig. 4)
+  kIrcce,        // iRCCE isend/irecv + wait_all (Fig. 5)
+  kLightweight,  // the paper's single-slot non-blocking primitives
+};
+
+[[nodiscard]] constexpr std::string_view prims_name(Prims p) {
+  switch (p) {
+    case Prims::kBlocking: return "blocking";
+    case Prims::kIrcce: return "ircce";
+    case Prims::kLightweight: return "lightweight";
+  }
+  return "?";
+}
+
+class Stack {
+ public:
+  Stack(machine::CoreApi& api, const rcce::Layout& layout, Prims prims)
+      : rcce_(api, layout), prims_(prims) {
+    if (prims == Prims::kIrcce) ircce_.emplace(rcce_);
+    if (prims == Prims::kLightweight) lwnb_.emplace(rcce_);
+  }
+
+  [[nodiscard]] int rank() const { return rcce_.rank(); }
+  [[nodiscard]] int num_cores() const { return rcce_.num_cores(); }
+  [[nodiscard]] Prims prims() const { return prims_; }
+  [[nodiscard]] machine::CoreApi& api() { return rcce_.api(); }
+  [[nodiscard]] rcce::Rcce& rcce() { return rcce_; }
+  [[nodiscard]] const rcce::Layout& layout() const { return rcce_.layout(); }
+
+  /// One ring/pairwise round: send `sbuf` to `dest` while receiving `rbuf`
+  /// from `src`.
+  ///  - blocking: odd cores receive first, even cores send first (the
+  ///    deadlock-avoiding odd-even ordering whose barrier-like coupling the
+  ///    paper identifies as optimization point A);
+  ///  - iRCCE / lightweight: post both, then complete both.
+  sim::Task<> exchange(std::span<const std::byte> sbuf, int dest,
+                       std::span<std::byte> rbuf, int src);
+
+  /// Pairwise variant for tournament rounds where send and receive involve
+  /// the SAME partner. The blocking ordering is decided by rank comparison
+  /// (the lower rank sends first), which is deadlock-free because the pairs
+  /// of one round are disjoint; odd-even ordering is not safe here since a
+  /// pair can have equal parity.
+  sim::Task<> exchange_pair(std::span<const std::byte> sbuf,
+                            std::span<std::byte> rbuf, int partner);
+
+  /// One-directional transfer through the selected layer (tree phases of
+  /// scatter/gather). Non-blocking layers post + immediately complete; the
+  /// saving vs. blocking is their smaller call overhead.
+  sim::Task<> send(std::span<const std::byte> data, int dest);
+  sim::Task<> recv(std::span<std::byte> data, int src);
+
+  sim::Task<> barrier() { return rcce_.barrier(); }
+
+  /// Persistent per-core scratch for the collective algorithms. Temporaries
+  /// must not be heap-allocated per call: the cache model keys on host
+  /// addresses, and allocator address reuse would make hit/miss patterns --
+  /// and therefore simulated time -- depend on the host heap layout.
+  /// Slots never shrink; reuse within a run is deterministic.
+  [[nodiscard]] std::span<double> scratch(std::size_t elems, int slot) {
+    SCC_EXPECTS(slot >= 0 && slot < static_cast<int>(scratch_.size()));
+    auto& buf = scratch_[static_cast<std::size_t>(slot)];
+    if (buf.size() < elems) buf.resize(elems);
+    return {buf.data(), elems};
+  }
+
+ private:
+  rcce::Rcce rcce_;
+  std::optional<ircce::Ircce> ircce_;
+  std::optional<lwnb::Lwnb> lwnb_;
+  Prims prims_;
+  std::array<aligned_vector<double>, 3> scratch_;
+};
+
+}  // namespace scc::coll

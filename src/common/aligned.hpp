@@ -1,0 +1,47 @@
+// Cache-line-aligned vector for buffers whose accesses are charged through
+// the simulated cache model.
+//
+// Why: the cache model classifies host-memory lines. If two live buffers
+// shared a 32-byte line, their hit/miss interaction would depend on where
+// the host allocator happened to place them -- breaking the simulator's
+// run-to-run determinism. Allocations aligned to the line size can never
+// share a line, so the classification depends only on the (deterministic)
+// access pattern.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace scc {
+
+inline constexpr std::size_t kLineAlignment = 32;
+
+template <typename T>
+class LineAlignedAllocator {
+ public:
+  using value_type = T;
+
+  LineAlignedAllocator() = default;
+  template <typename U>
+  LineAlignedAllocator(const LineAlignedAllocator<U>&) noexcept {}  // NOLINT
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t{kLineAlignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kLineAlignment});
+  }
+
+  friend bool operator==(const LineAlignedAllocator&,
+                         const LineAlignedAllocator&) {
+    return true;
+  }
+};
+
+/// Vector whose storage starts on a cache-line boundary.
+template <typename T>
+using aligned_vector = std::vector<T, LineAlignedAllocator<T>>;
+
+}  // namespace scc

@@ -1,0 +1,89 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace scc {
+
+CliFlags CliFlags::parse(int argc, const char* const* argv) {
+  CliFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--") break;
+    if (arg.rfind("--", 0) != 0) {
+      flags.positionals_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = {body.substr(eq + 1), false};
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[body] = {argv[i + 1], false};
+      ++i;
+    } else {
+      flags.values_[body] = {"true", false};  // bare boolean flag
+    }
+  }
+  return flags;
+}
+
+bool CliFlags::has(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  it->second.second = true;
+  return true;
+}
+
+std::string CliFlags::get(const std::string& name,
+                          const std::string& fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  it->second.second = true;
+  return it->second.first;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name,
+                               std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  it->second.second = true;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.first.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0')
+    throw std::runtime_error("flag --" + name + " expects an integer, got '" +
+                             it->second.first + "'");
+  return v;
+}
+
+double CliFlags::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  it->second.second = true;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.first.c_str(), &end);
+  if (end == nullptr || *end != '\0')
+    throw std::runtime_error("flag --" + name + " expects a number, got '" +
+                             it->second.first + "'");
+  return v;
+}
+
+bool CliFlags::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  it->second.second = true;
+  const std::string& v = it->second.first;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::runtime_error("flag --" + name + " expects a boolean, got '" + v +
+                           "'");
+}
+
+std::vector<std::string> CliFlags::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : values_)
+    if (!entry.second) out.push_back(name);
+  return out;
+}
+
+}  // namespace scc

@@ -1,0 +1,44 @@
+// Minimal command-line flag parsing for bench and example binaries.
+// Flags use --name=value or --name value; unknown flags are an error so
+// typos don't silently run the wrong experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace scc {
+
+class CliFlags {
+ public:
+  /// Parses argv. Throws std::runtime_error on malformed input.
+  /// Arguments not starting with "--" are collected as positionals.
+  /// Anything after a literal "--" separator is ignored (left for wrapped
+  /// frameworks such as google-benchmark).
+  static CliFlags parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+
+  /// Names that were parsed but never queried -- call at the end of main to
+  /// reject typos.
+  [[nodiscard]] std::vector<std::string> unconsumed() const;
+
+ private:
+  mutable std::map<std::string, std::pair<std::string, bool>> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace scc

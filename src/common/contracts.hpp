@@ -1,0 +1,40 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").
+//
+// SCC_EXPECTS(cond)  -- precondition; aborts with a diagnostic when violated.
+// SCC_ENSURES(cond)  -- postcondition; same behaviour.
+// SCC_ASSERT(cond)   -- internal invariant.
+//
+// Contracts stay enabled in all build types: the simulator is the load-bearing
+// substrate for every experiment, and a silently-corrupted simulation is worse
+// than a crash. The checks are branches on cold paths; profiling shows they
+// are not measurable in the event loop.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace scc::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violated: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace scc::detail
+
+#define SCC_EXPECTS(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::scc::detail::contract_failure("precondition", #cond, __FILE__, \
+                                            __LINE__))
+
+#define SCC_ENSURES(cond)                                                    \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::scc::detail::contract_failure("postcondition", #cond, __FILE__, \
+                                            __LINE__))
+
+#define SCC_ASSERT(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::scc::detail::contract_failure("invariant", #cond, __FILE__, \
+                                            __LINE__))

@@ -1,0 +1,42 @@
+// Deterministic pseudo-random number generation for workloads and the GCMC
+// application. xoshiro256** (Blackman/Vigna, public domain algorithm),
+// reimplemented here so every experiment is reproducible bit-for-bit across
+// platforms -- std::mt19937 would do, but its double conversion via
+// std::uniform_real_distribution is not specified identically everywhere.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace scc {
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds via splitmix64 so that nearby seeds give uncorrelated streams.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Jump function: advances 2^128 steps, for splitting one seed into many
+  /// independent streams (one per simulated core).
+  void jump();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace scc

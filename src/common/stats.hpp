@@ -1,0 +1,37 @@
+// Small online-statistics helpers used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace scc {
+
+/// Accumulates a stream of samples; exposes count/mean/min/max/stddev.
+/// Uses Welford's algorithm so variance stays numerically stable.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Median of a sample vector (copies; callers keep their data).
+[[nodiscard]] double median(std::vector<double> samples);
+
+/// Geometric mean; requires every sample > 0.
+[[nodiscard]] double geometric_mean(const std::vector<double>& samples);
+
+}  // namespace scc

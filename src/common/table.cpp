@@ -1,0 +1,76 @@
+#include "common/table.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+
+namespace scc {
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quotes = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  SCC_EXPECTS(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SCC_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size())
+        os << std::string(width[c] - row[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::write_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << csv_escape(row[c]);
+      if (c + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::write_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_csv(out);
+}
+
+}  // namespace scc

@@ -1,0 +1,37 @@
+// Result-table rendering: aligned ASCII tables for stdout and CSV files for
+// downstream plotting. Every bench binary reports through these so the
+// reproduction output has one consistent format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace scc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return header_.size(); }
+
+  /// Pretty-prints with column alignment.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing separators).
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: writes CSV to a file path; throws std::runtime_error on
+  /// failure to open.
+  void write_csv_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace scc

@@ -1,0 +1,321 @@
+#include "harness/runner.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "coll/collectives.hpp"
+#include "coll/mpb_allreduce.hpp"
+#include "common/aligned.hpp"
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+#include "machine/scc_machine.hpp"
+#include "rckmpi/mpi.hpp"
+
+namespace scc::harness {
+
+namespace {
+
+constexpr int kRoot = 0;  // root used by Reduce/Broadcast experiments
+
+struct CoreData {
+  aligned_vector<double> in;
+  aligned_vector<double> out;
+  std::vector<SimTime> samples;  // filled by rank 0
+  int owned_block = -1;          // ReduceScatter result block
+};
+
+/// Integer-valued inputs: ring and tree reduction orders then agree
+/// bit-for-bit with the serial reference (sums stay far below 2^53).
+void fill_input(aligned_vector<double>& v, std::uint64_t seed, int rank) {
+  Xoshiro256 rng(seed * 1000003 + static_cast<std::uint64_t>(rank));
+  for (double& x : v) x = static_cast<double>(rng.below(1000));
+}
+
+struct Buffers {
+  std::size_t in_elems = 0;
+  std::size_t out_elems = 0;
+};
+
+Buffers buffer_sizes(Collective c, std::size_t n, int p) {
+  switch (c) {
+    case Collective::kAllgather:
+      return {n, n * static_cast<std::size_t>(p)};
+    case Collective::kAlltoall:
+      return {n * static_cast<std::size_t>(p), n * static_cast<std::size_t>(p)};
+    case Collective::kReduceScatter:
+    case Collective::kBroadcast:
+    case Collective::kReduce:
+    case Collective::kAllreduce:
+      return {n, n};
+  }
+  return {n, n};
+}
+
+coll::Prims prims_of(PaperVariant v) {
+  switch (v) {
+    case PaperVariant::kBlocking: return coll::Prims::kBlocking;
+    case PaperVariant::kIrcce: return coll::Prims::kIrcce;
+    default: return coll::Prims::kLightweight;
+  }
+}
+
+coll::SplitPolicy split_of(PaperVariant v) {
+  return (v == PaperVariant::kLwBalanced || v == PaperVariant::kMpb)
+             ? coll::SplitPolicy::kBalanced
+             : coll::SplitPolicy::kStandard;
+}
+
+/// One invocation of the collective under test, RCCE-family variants.
+sim::Task<> run_op_rcce(coll::Stack& stack, coll::MpbAllreduce* mpb,
+                        const RunSpec& spec, CoreData& data) {
+  const coll::SplitPolicy split = split_of(spec.variant);
+  switch (spec.collective) {
+    case Collective::kAllgather:
+      co_await coll::allgather(stack, data.in, data.out);
+      co_return;
+    case Collective::kAlltoall:
+      co_await coll::alltoall(stack, data.in, data.out);
+      co_return;
+    case Collective::kReduceScatter:
+      data.owned_block = co_await coll::reduce_scatter(
+          stack, data.in, data.out, coll::ReduceOp::kSum, split);
+      co_return;
+    case Collective::kBroadcast:
+      co_await coll::broadcast(stack, data.out, kRoot, split);
+      co_return;
+    case Collective::kReduce:
+      co_await coll::reduce(stack, data.in, data.out, coll::ReduceOp::kSum,
+                            kRoot, split);
+      co_return;
+    case Collective::kAllreduce:
+      if (spec.variant == PaperVariant::kMpb) {
+        co_await mpb->run(data.in, data.out, coll::ReduceOp::kSum, split);
+      } else {
+        co_await coll::allreduce(stack, data.in, data.out,
+                                 coll::ReduceOp::kSum, split);
+      }
+      co_return;
+  }
+}
+
+sim::Task<> run_op_mpi(rckmpi::Mpi& mpi, const RunSpec& spec,
+                       CoreData& data) {
+  switch (spec.collective) {
+    case Collective::kAllgather:
+      co_await mpi.allgather(data.in, data.out);
+      co_return;
+    case Collective::kAlltoall:
+      co_await mpi.alltoall(data.in, data.out);
+      co_return;
+    case Collective::kReduceScatter:
+      data.owned_block = co_await mpi.reduce_scatter(data.in, data.out,
+                                                     rckmpi::ReduceOp::kSum);
+      co_return;
+    case Collective::kBroadcast:
+      co_await mpi.bcast(data.out, kRoot);
+      co_return;
+    case Collective::kReduce:
+      co_await mpi.reduce(data.in, data.out, rckmpi::ReduceOp::kSum, kRoot);
+      co_return;
+    case Collective::kAllreduce:
+      co_await mpi.allreduce(data.in, data.out, rckmpi::ReduceOp::kSum);
+      co_return;
+  }
+}
+
+sim::Task<> core_program(machine::CoreApi& api, const rcce::Layout& layout,
+                         const rckmpi::ChannelLayout* mpi_layout,
+                         const RunSpec& spec, CoreData& data) {
+  // Persistent per-core communication objects (the MPB Allreduce keeps
+  // handshake sequence state across repetitions by design).
+  coll::Stack stack(api, layout, prims_of(spec.variant));
+  coll::MpbAllreduce mpb(api, layout);
+  std::optional<rckmpi::Mpi> mpi;
+  if (spec.variant == PaperVariant::kRckmpi) {
+    SCC_ASSERT(mpi_layout != nullptr);
+    mpi.emplace(api, *mpi_layout);
+  }
+  const int total = spec.warmup + spec.repetitions;
+  for (int rep = 0; rep < total; ++rep) {
+    co_await api.sync_barrier();
+    const SimTime start = api.now();
+    if (mpi) {
+      co_await run_op_mpi(*mpi, spec, data);
+    } else {
+      co_await run_op_rcce(stack, &mpb, spec, data);
+    }
+    if (api.rank() == 0 && rep >= spec.warmup) {
+      data.samples.push_back(api.now() - start);
+    }
+  }
+  co_await api.sync_barrier();
+}
+
+void verify_results(const RunSpec& spec, int p,
+                    const std::vector<CoreData>& data) {
+  const std::size_t n = spec.elements;
+  const auto fail = [&](const std::string& what) {
+    throw std::runtime_error(
+        strprintf("verification failed (%s/%s, n=%zu): %s",
+                  std::string(collective_name(spec.collective)).c_str(),
+                  std::string(variant_name(spec.variant)).c_str(), n,
+                  what.c_str()));
+  };
+  const auto expect_eq = [&](double got, double want, const char* where) {
+    if (got != want) {
+      fail(strprintf("%s: got %.17g want %.17g", where, got, want));
+    }
+  };
+  switch (spec.collective) {
+    case Collective::kAllgather: {
+      for (int r = 0; r < p; ++r)
+        for (int src = 0; src < p; ++src)
+          for (std::size_t i = 0; i < n; ++i)
+            expect_eq(data[static_cast<std::size_t>(r)]
+                          .out[static_cast<std::size_t>(src) * n + i],
+                      data[static_cast<std::size_t>(src)].in[i], "allgather");
+      return;
+    }
+    case Collective::kAlltoall: {
+      for (int r = 0; r < p; ++r)
+        for (int src = 0; src < p; ++src)
+          for (std::size_t i = 0; i < n; ++i)
+            expect_eq(data[static_cast<std::size_t>(r)]
+                          .out[static_cast<std::size_t>(src) * n + i],
+                      data[static_cast<std::size_t>(src)]
+                          .in[static_cast<std::size_t>(r) * n + i],
+                      "alltoall");
+      return;
+    }
+    case Collective::kBroadcast: {
+      for (int r = 0; r < p; ++r)
+        for (std::size_t i = 0; i < n; ++i)
+          expect_eq(data[static_cast<std::size_t>(r)].out[i],
+                    data[kRoot].in[i], "broadcast");
+      return;
+    }
+    case Collective::kReduce:
+    case Collective::kAllreduce:
+    case Collective::kReduceScatter: {
+      std::vector<double> want(n, 0.0);
+      for (int src = 0; src < p; ++src)
+        for (std::size_t i = 0; i < n; ++i)
+          want[i] += data[static_cast<std::size_t>(src)].in[i];
+      if (spec.collective == Collective::kReduce) {
+        for (std::size_t i = 0; i < n; ++i)
+          expect_eq(data[kRoot].out[i], want[i], "reduce@root");
+      } else if (spec.collective == Collective::kAllreduce) {
+        for (int r = 0; r < p; ++r)
+          for (std::size_t i = 0; i < n; ++i)
+            expect_eq(data[static_cast<std::size_t>(r)].out[i], want[i],
+                      "allreduce");
+      } else {
+        const coll::SplitPolicy policy =
+            spec.variant == PaperVariant::kRckmpi ? coll::SplitPolicy::kBalanced
+                                                  : split_of(spec.variant);
+        // Both stacks' ring direction leaves core i owning block (i+1)%p.
+        const auto blocks = coll::split_blocks(n, p, policy);
+        for (int r = 0; r < p; ++r) {
+          const int ob = data[static_cast<std::size_t>(r)].owned_block;
+          if (ob < 0 || ob >= p) fail("reducescatter: no owned block");
+          const coll::Block& b = blocks[static_cast<std::size_t>(ob)];
+          for (std::size_t i = b.offset; i < b.offset + b.count; ++i)
+            expect_eq(data[static_cast<std::size_t>(r)].out[i], want[i],
+                      "reducescatter");
+        }
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<PaperVariant> variants_for(Collective c) {
+  switch (c) {
+    case Collective::kAllgather:
+    case Collective::kAlltoall:
+      return {PaperVariant::kRckmpi, PaperVariant::kBlocking,
+              PaperVariant::kIrcce, PaperVariant::kLightweight};
+    case Collective::kReduceScatter:
+    case Collective::kBroadcast:
+    case Collective::kReduce:
+      return {PaperVariant::kRckmpi, PaperVariant::kBlocking,
+              PaperVariant::kIrcce, PaperVariant::kLightweight,
+              PaperVariant::kLwBalanced};
+    case Collective::kAllreduce:
+      return {PaperVariant::kRckmpi,      PaperVariant::kBlocking,
+              PaperVariant::kIrcce,       PaperVariant::kLightweight,
+              PaperVariant::kLwBalanced,  PaperVariant::kMpb};
+  }
+  return {};
+}
+
+RunResult run_collective(const RunSpec& spec) {
+  if (spec.variant == PaperVariant::kMpb &&
+      spec.collective != Collective::kAllreduce) {
+    throw std::runtime_error(
+        "the MPB-direct variant exists only for Allreduce (paper IV-D)");
+  }
+  SCC_EXPECTS(spec.repetitions >= 1);
+
+  machine::SccConfig config = spec.config;
+  const int p = config.num_cores();
+  rcce::Layout layout(p);
+  int flags_needed = layout.flags_needed();
+  std::optional<rckmpi::ChannelLayout> mpi_layout;
+  if (spec.variant == PaperVariant::kRckmpi) {
+    mpi_layout.emplace(layout);
+    flags_needed = mpi_layout->flags_needed();
+  }
+  config.flags_per_core = std::max(config.flags_per_core, flags_needed);
+  machine::SccMachine machine(config);
+
+  const Buffers sizes = buffer_sizes(spec.collective, spec.elements, p);
+  std::vector<CoreData> data(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    auto& d = data[static_cast<std::size_t>(r)];
+    d.in.resize(sizes.in_elems);
+    d.out.resize(sizes.out_elems, 0.0);
+    fill_input(d.in, spec.seed, r);
+    if (spec.collective == Collective::kBroadcast && r == kRoot) {
+      d.out = d.in;  // the root broadcasts its own data in place
+    }
+  }
+
+  for (int r = 0; r < p; ++r) {
+    machine.launch(
+        r, core_program(machine.core(r), layout,
+                        mpi_layout ? &*mpi_layout : nullptr, spec,
+                        data[static_cast<std::size_t>(r)]));
+  }
+  machine.run();
+
+  if (spec.verify) verify_results(spec, p, data);
+
+  RunResult result;
+  const auto& samples = data[0].samples;
+  SCC_ASSERT(samples.size() == static_cast<std::size_t>(spec.repetitions));
+  SimTime sum, min_s = SimTime::max(), max_s;
+  for (const SimTime s : samples) {
+    sum += s;
+    min_s = std::min(min_s, s);
+    max_s = std::max(max_s, s);
+  }
+  result.mean_latency =
+      SimTime{sum.femtoseconds() / static_cast<std::uint64_t>(samples.size())};
+  result.min_latency = min_s;
+  result.max_latency = max_s;
+  result.verified = spec.verify;
+  result.events = machine.engine().events_processed();
+  if (spec.collect_profiles) {
+    result.profiles.reserve(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r)
+      result.profiles.push_back(machine.core(r).profile());
+  }
+  return result;
+}
+
+}  // namespace scc::harness

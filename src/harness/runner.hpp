@@ -1,0 +1,92 @@
+// Experiment harness: runs one collective under one of the paper's six
+// library variants on a fresh simulated SCC and reports the measured
+// virtual-time latency (plus correctness verification and per-core
+// profiles). Bench binaries and tests are thin wrappers over this.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "coll/block_split.hpp"
+#include "coll/stack.hpp"
+#include "machine/config.hpp"
+#include "machine/profile.hpp"
+#include "rcce/rcce.hpp"
+
+namespace scc::harness {
+
+/// The six graphs of Fig. 9 / bars of Fig. 10.
+enum class PaperVariant {
+  kRckmpi,       // RCKMPI baseline (MPI over the packetized channel)
+  kBlocking,     // RCCE_comm on blocking RCCE (the paper's reference)
+  kIrcce,        // + relaxed synchronization (Section IV-A)
+  kLightweight,  // + lightweight non-blocking primitives (Section IV-B)
+  kLwBalanced,   // + balanced block splitting (Section IV-C)
+  kMpb,          // + MPB-direct Allreduce (Section IV-D; Allreduce only)
+};
+
+[[nodiscard]] constexpr std::string_view variant_name(PaperVariant v) {
+  switch (v) {
+    case PaperVariant::kRckmpi: return "rckmpi";
+    case PaperVariant::kBlocking: return "blocking";
+    case PaperVariant::kIrcce: return "ircce";
+    case PaperVariant::kLightweight: return "lightweight";
+    case PaperVariant::kLwBalanced: return "lw-balanced";
+    case PaperVariant::kMpb: return "mpb";
+  }
+  return "?";
+}
+
+enum class Collective {
+  kAllgather,
+  kAlltoall,
+  kReduceScatter,
+  kBroadcast,
+  kReduce,
+  kAllreduce,
+};
+
+[[nodiscard]] constexpr std::string_view collective_name(Collective c) {
+  switch (c) {
+    case Collective::kAllgather: return "allgather";
+    case Collective::kAlltoall: return "alltoall";
+    case Collective::kReduceScatter: return "reducescatter";
+    case Collective::kBroadcast: return "broadcast";
+    case Collective::kReduce: return "reduce";
+    case Collective::kAllreduce: return "allreduce";
+  }
+  return "?";
+}
+
+/// Variants plotted for a given collective in Fig. 9 (e.g. the balanced
+/// variant only exists for the splitting collectives; MPB only for
+/// Allreduce).
+[[nodiscard]] std::vector<PaperVariant> variants_for(Collective c);
+
+struct RunSpec {
+  Collective collective = Collective::kAllreduce;
+  PaperVariant variant = PaperVariant::kBlocking;
+  std::size_t elements = 552;  // vector size (doubles); Alltoall: per pair
+  int repetitions = 4;         // measured repetitions (averaged)
+  int warmup = 2;              // unmeasured cache-warming repetitions
+  std::uint64_t seed = 42;
+  bool verify = true;          // compare against a serial reference
+  bool collect_profiles = false;
+  machine::SccConfig config = machine::SccConfig::paper_default();
+};
+
+struct RunResult {
+  SimTime mean_latency;  // per-operation, measured on core 0
+  SimTime min_latency;
+  SimTime max_latency;
+  bool verified = false;  // true when verify was requested and passed
+  std::uint64_t events = 0;
+  std::vector<machine::CoreProfile> profiles;  // when collect_profiles
+};
+
+/// Runs the experiment on a fresh machine. Throws std::runtime_error on
+/// simulation deadlock and on verification failure.
+[[nodiscard]] RunResult run_collective(const RunSpec& spec);
+
+}  // namespace scc::harness

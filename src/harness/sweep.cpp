@@ -1,0 +1,91 @@
+#include "harness/sweep.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/string_util.hpp"
+
+namespace scc::harness {
+
+namespace {
+
+std::size_t variant_index(const SweepResult& r, PaperVariant v) {
+  const auto it = std::find(r.variants.begin(), r.variants.end(), v);
+  SCC_EXPECTS(it != r.variants.end());
+  return static_cast<std::size_t>(it - r.variants.begin());
+}
+
+}  // namespace
+
+double SweepResult::mean_speedup_vs_blocking(PaperVariant v) const {
+  const std::size_t base = variant_index(*this, PaperVariant::kBlocking);
+  const std::size_t idx = variant_index(*this, v);
+  double sum = 0.0;
+  for (const SweepPoint& pt : points)
+    sum += pt.latency_us[base] / pt.latency_us[idx];
+  return sum / static_cast<double>(points.size());
+}
+
+std::pair<double, std::size_t> SweepResult::max_speedup_vs_blocking(
+    PaperVariant v) const {
+  const std::size_t base = variant_index(*this, PaperVariant::kBlocking);
+  const std::size_t idx = variant_index(*this, v);
+  double best = 0.0;
+  std::size_t at = 0;
+  for (const SweepPoint& pt : points) {
+    const double s = pt.latency_us[base] / pt.latency_us[idx];
+    if (s > best) {
+      best = s;
+      at = pt.elements;
+    }
+  }
+  return {best, at};
+}
+
+double SweepResult::mean_latency_us(PaperVariant v) const {
+  const std::size_t idx = variant_index(*this, v);
+  double sum = 0.0;
+  for (const SweepPoint& pt : points) sum += pt.latency_us[idx];
+  return sum / static_cast<double>(points.size());
+}
+
+Table SweepResult::to_table() const {
+  std::vector<std::string> header{"elements"};
+  for (const PaperVariant v : variants)
+    header.emplace_back(std::string(variant_name(v)) + "_us");
+  Table table(std::move(header));
+  for (const SweepPoint& pt : points) {
+    std::vector<std::string> row{strprintf("%zu", pt.elements)};
+    for (const double us : pt.latency_us) row.push_back(strprintf("%.2f", us));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+SweepResult run_sweep(const SweepSpec& spec) {
+  SCC_EXPECTS(spec.from <= spec.to);
+  SCC_EXPECTS(spec.step >= 1);
+  SweepResult result;
+  result.variants = spec.variants.empty() ? variants_for(spec.collective)
+                                          : spec.variants;
+  for (std::size_t n = spec.from; n <= spec.to; n += spec.step) {
+    SweepPoint point;
+    point.elements = n;
+    for (const PaperVariant v : result.variants) {
+      RunSpec run;
+      run.collective = spec.collective;
+      run.variant = v;
+      run.elements = n;
+      run.repetitions = spec.repetitions;
+      run.warmup = spec.warmup;
+      run.seed = spec.seed;
+      run.verify = spec.verify;
+      run.config = spec.config;
+      point.latency_us.push_back(run_collective(run).mean_latency.us());
+    }
+    result.points.push_back(std::move(point));
+  }
+  return result;
+}
+
+}  // namespace scc::harness

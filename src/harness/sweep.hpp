@@ -1,0 +1,51 @@
+// Sweep driver: regenerates one Fig. 9 panel (latency vs. vector size for
+// every variant of a collective) and derives the paper's summary speedup
+// statistics from it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "harness/runner.hpp"
+
+namespace scc::harness {
+
+struct SweepSpec {
+  Collective collective = Collective::kAllreduce;
+  std::size_t from = 500;
+  std::size_t to = 700;
+  std::size_t step = 4;
+  int repetitions = 3;
+  int warmup = 1;
+  std::uint64_t seed = 42;
+  bool verify = true;  // verify every point (slower; benches verify once)
+  machine::SccConfig config = machine::SccConfig::paper_default();
+  /// Empty = the paper's variant set for this collective.
+  std::vector<PaperVariant> variants;
+};
+
+struct SweepPoint {
+  std::size_t elements = 0;
+  std::vector<double> latency_us;  // one per variant, in sweep order
+};
+
+struct SweepResult {
+  std::vector<PaperVariant> variants;
+  std::vector<SweepPoint> points;
+
+  /// Mean over the sweep of (blocking latency / variant latency) -- the
+  /// paper's "average speedup relative to the RCCE_comm baseline".
+  [[nodiscard]] double mean_speedup_vs_blocking(PaperVariant v) const;
+  /// Maximum pointwise speedup and where it occurs.
+  [[nodiscard]] std::pair<double, std::size_t> max_speedup_vs_blocking(
+      PaperVariant v) const;
+  [[nodiscard]] double mean_latency_us(PaperVariant v) const;
+
+  /// size column + one latency column per variant (microseconds).
+  [[nodiscard]] Table to_table() const;
+};
+
+[[nodiscard]] SweepResult run_sweep(const SweepSpec& spec);
+
+}  // namespace scc::harness

@@ -1,0 +1,71 @@
+#include "lwnb/lwnb.hpp"
+
+#include <algorithm>
+
+#include "rcce/protocol.hpp"
+
+namespace scc::lwnb {
+
+sim::Task<> Lwnb::isend(std::span<const std::byte> data, int dest) {
+  SCC_EXPECTS(!send_pending_);
+  SCC_EXPECTS(dest >= 0 && dest < rcce_->num_cores() && dest != rank());
+  auto& api = rcce_->api();
+  co_await api.overhead(api.cost().sw.lwnb_issue);
+  sdata_ = data;
+  sdest_ = dest;
+  send_pending_ = true;
+  const std::size_t chunk =
+      std::min(rcce_->layout().chunk_bytes(), data.size());
+  co_await rcce::stage_and_signal(api, rcce_->layout(), data.first(chunk),
+                                  dest);
+}
+
+sim::Task<> Lwnb::irecv(std::span<std::byte> data, int src) {
+  SCC_EXPECTS(!recv_pending_);
+  SCC_EXPECTS(src >= 0 && src < rcce_->num_cores() && src != rank());
+  auto& api = rcce_->api();
+  co_await api.overhead(api.cost().sw.lwnb_issue);
+  rdata_ = data;
+  rsrc_ = src;
+  recv_pending_ = true;
+}
+
+sim::Task<> Lwnb::wait_send() {
+  SCC_EXPECTS(send_pending_);
+  auto& api = rcce_->api();
+  const rcce::Layout& layout = rcce_->layout();
+  co_await rcce::await_ack(api, layout, sdest_);
+  std::size_t done = std::min(layout.chunk_bytes(), sdata_.size());
+  while (done < sdata_.size()) {
+    const std::size_t len = std::min(layout.chunk_bytes(), sdata_.size() - done);
+    co_await rcce::stage_and_signal(api, layout, sdata_.subspan(done, len),
+                                    sdest_);
+    co_await rcce::await_ack(api, layout, sdest_);
+    done += len;
+  }
+  co_await api.overhead(api.cost().sw.lwnb_complete);
+  send_pending_ = false;
+}
+
+sim::Task<> Lwnb::wait_recv() {
+  SCC_EXPECTS(recv_pending_);
+  auto& api = rcce_->api();
+  const rcce::Layout& layout = rcce_->layout();
+  std::size_t done = 0;
+  do {
+    const std::size_t len = std::min(layout.chunk_bytes(), rdata_.size() - done);
+    co_await rcce::await_and_fetch(api, layout, rdata_.subspan(done, len),
+                                   rsrc_);
+    co_await rcce::ack_sender(api, layout, rsrc_);
+    done += len;
+  } while (done < rdata_.size());
+  co_await api.overhead(api.cost().sw.lwnb_complete);
+  recv_pending_ = false;
+}
+
+sim::Task<> Lwnb::wait_both() {
+  if (recv_pending_) co_await wait_recv();
+  if (send_pending_) co_await wait_send();
+}
+
+}  // namespace scc::lwnb

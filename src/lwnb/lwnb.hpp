@@ -1,0 +1,59 @@
+// Lightweight non-blocking primitives (the paper's Section IV-B).
+//
+// The insight: collective algorithms organized in rounds exchange at most
+// one message per peer per round, so the general iRCCE machinery (request
+// lists, wildcards, cancellation, dynamic memory) is pure overhead there.
+// This layer supports exactly ONE outstanding send and ONE outstanding
+// receive, held in fixed slots -- no allocation, no list walking -- and
+// charges correspondingly small per-call costs.
+//
+// The wire protocol is the identical Fig. 3 flag handshake, so the blocking
+// / iRCCE / lightweight layers are interchangeable correctness-wise; only
+// the software path length differs.
+#pragma once
+
+#include <span>
+
+#include "rcce/rcce.hpp"
+#include "sim/task.hpp"
+
+namespace scc::lwnb {
+
+class Lwnb {
+ public:
+  explicit Lwnb(rcce::Rcce& rcce) : rcce_(&rcce) {}
+
+  [[nodiscard]] int rank() const { return rcce_->rank(); }
+
+  /// Starts the (single) non-blocking send: stages the first chunk into the
+  /// local MPB and raises `sent` at `dest`. Precondition: no send pending.
+  sim::Task<> isend(std::span<const std::byte> data, int dest);
+
+  /// Posts the (single) non-blocking receive. Precondition: none pending.
+  sim::Task<> irecv(std::span<std::byte> data, int src);
+
+  /// Completes the pending send (waits for the receiver's ack; pushes any
+  /// remaining chunks of an oversized message).
+  sim::Task<> wait_send();
+
+  /// Completes the pending receive (fetch + ack).
+  sim::Task<> wait_recv();
+
+  /// Completes both: the receive first (it moves data; the send ack arrives
+  /// from the peer's own receive, overlapping with our copy).
+  sim::Task<> wait_both();
+
+  [[nodiscard]] bool send_pending() const { return send_pending_; }
+  [[nodiscard]] bool recv_pending() const { return recv_pending_; }
+
+ private:
+  rcce::Rcce* rcce_;
+  std::span<const std::byte> sdata_;
+  std::span<std::byte> rdata_;
+  int sdest_ = -1;
+  int rsrc_ = -1;
+  bool send_pending_ = false;
+  bool recv_pending_ = false;
+};
+
+}  // namespace scc::lwnb

@@ -1,0 +1,37 @@
+// Machine-level configuration: topology shape + full cost model.
+#pragma once
+
+#include "mem/cost_model.hpp"
+
+namespace scc::machine {
+
+struct SccConfig {
+  int tiles_x = 6;
+  int tiles_y = 4;
+  int cores_per_tile = 2;
+  mem::CostModel cost;
+  /// Flags allocatable per core (one-byte flags in MPB space). The default
+  /// leaves room for every layer: RCCE needs 2 per partner, RCKMPI one per
+  /// partner, collectives a handful of extras.
+  int flags_per_core = 256;
+  /// When true, MPB contents are poisoned at startup so reads of
+  /// never-written areas are detectable in tests.
+  bool poison_mpb = false;
+
+  [[nodiscard]] int num_cores() const {
+    return tiles_x * tiles_y * cores_per_tile;
+  }
+
+  /// The paper's machine: 48 cores, arbiter-bug workaround active.
+  static SccConfig paper_default() { return SccConfig{}; }
+
+  /// Hypothetical fixed-silicon SCC (Section IV-D: "with the hardware bug
+  /// resolved, we expect to see significantly higher speedups").
+  static SccConfig bug_fixed() {
+    SccConfig c;
+    c.cost.hw.mpb_bug_workaround = false;
+    return c;
+  }
+};
+
+}  // namespace scc::machine

@@ -1,0 +1,194 @@
+#include "machine/core_api.hpp"
+
+#include <cstring>
+
+#include "machine/scc_machine.hpp"
+
+namespace scc::machine {
+
+CoreApi::CoreApi(SccMachine& machine, int rank)
+    : machine_(&machine), rank_(rank) {
+  SCC_EXPECTS(rank >= 0 && rank < machine.num_cores());
+}
+
+int CoreApi::num_cores() const { return machine_->num_cores(); }
+
+SimTime CoreApi::now() const { return machine_->engine().now(); }
+
+const mem::CostModel& CoreApi::cost() const {
+  return machine_->config().cost;
+}
+
+sim::Task<> CoreApi::charge_impl(Phase phase, SimTime duration) {
+  profile_.add(phase, duration);
+  co_await machine_->engine().sleep_for(duration);
+}
+
+sim::Task<> CoreApi::compute(std::uint64_t core_cycles) {
+  return charge_impl(Phase::kCompute,
+                     machine_->latency().core_cycles(core_cycles));
+}
+
+sim::Task<> CoreApi::overhead(std::uint64_t core_cycles) {
+  return charge_impl(Phase::kSwOverhead,
+                     machine_->latency().core_cycles(core_cycles));
+}
+
+sim::Task<> CoreApi::charge(Phase phase, SimTime duration) {
+  return charge_impl(phase, duration);
+}
+
+SimTime CoreApi::contention_delay(int from, int to, std::size_t bytes) {
+  if (!cost().hw.model_link_contention || from == to) return SimTime::zero();
+  return machine_->contention().occupy(from, to, mem::lines_for(bytes),
+                                       machine_->engine().now());
+}
+
+sim::Task<> CoreApi::mpb_put(mem::MpbAddr dst,
+                             std::span<const std::byte> src) {
+  SimTime t =
+      machine_->latency().mpb_bulk(rank_, dst.core, src.size(), /*is_read=*/false);
+  if (dst.core != rank_) {
+    machine_->traffic().record_transfer(rank_, dst.core,
+                                        mem::lines_for(src.size()));
+    t += contention_delay(rank_, dst.core, src.size());
+  }
+  co_await charge_impl(Phase::kMpbTransfer, t);
+  machine_->mpb().write(dst, src);
+}
+
+sim::Task<> CoreApi::mpb_get(mem::MpbAddr src, std::span<std::byte> dst) {
+  SimTime t =
+      machine_->latency().mpb_bulk(rank_, src.core, dst.size(), /*is_read=*/true);
+  if (src.core != rank_) {
+    machine_->traffic().record_transfer(src.core, rank_,
+                                        mem::lines_for(dst.size()));
+    t += contention_delay(src.core, rank_, dst.size());
+  }
+  co_await charge_impl(Phase::kMpbTransfer, t);
+  machine_->mpb().read(src, dst);
+}
+
+sim::Task<> CoreApi::mpb_charge(int mpb_owner, std::size_t bytes,
+                                bool is_read) {
+  SimTime t = machine_->latency().mpb_bulk(rank_, mpb_owner, bytes, is_read);
+  if (mpb_owner != rank_) {
+    const int from = is_read ? mpb_owner : rank_;
+    const int to = is_read ? rank_ : mpb_owner;
+    machine_->traffic().record_transfer(from, to, mem::lines_for(bytes));
+    t += contention_delay(from, to, bytes);
+  }
+  co_await charge_impl(Phase::kMpbTransfer, t);
+}
+
+sim::Task<> CoreApi::mpb_word_charge(int mpb_owner, std::size_t bytes,
+                                     bool is_read) {
+  SimTime t =
+      machine_->latency().mpb_word_stream(rank_, mpb_owner, bytes, is_read);
+  if (mpb_owner != rank_) {
+    const int from = is_read ? mpb_owner : rank_;
+    const int to = is_read ? rank_ : mpb_owner;
+    machine_->traffic().record_transfer(from, to, mem::lines_for(bytes));
+    t += contention_delay(from, to, bytes);
+  }
+  co_await charge_impl(Phase::kMpbTransfer, t);
+}
+
+std::span<std::byte> CoreApi::mpb_window(mem::MpbAddr addr,
+                                         std::size_t bytes) {
+  return machine_->mpb().range(addr, bytes);
+}
+
+namespace {
+// Charges are normalized to whole cache lines starting at the pointer's
+// line so the line COUNT depends only on the byte count, never on where
+// the host allocator placed the buffer (run-to-run determinism).
+std::uintptr_t norm_base(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) & ~std::uintptr_t{mem::kCacheLineBytes - 1};
+}
+std::size_t norm_bytes(std::size_t bytes) {
+  return mem::lines_for(bytes) * mem::kCacheLineBytes;
+}
+}  // namespace
+
+sim::Task<> CoreApi::priv_read(const void* p, std::size_t bytes) {
+  const auto result =
+      machine_->cache(rank_).touch_read(norm_base(p), norm_bytes(bytes));
+  co_await charge_impl(Phase::kPrivMem,
+                       machine_->latency().priv_access(rank_, result));
+}
+
+sim::Task<> CoreApi::priv_write(void* p, std::size_t bytes) {
+  const auto result =
+      machine_->cache(rank_).touch_write(norm_base(p), norm_bytes(bytes));
+  co_await charge_impl(Phase::kPrivMem,
+                       machine_->latency().priv_access(rank_, result));
+}
+
+sim::Task<> CoreApi::flag_set(FlagRef ref, FlagValue value) {
+  SimTime t =
+      machine_->latency().mpb_line_access(rank_, ref.owner_core,
+                                          /*is_read=*/false) +
+      machine_->latency().core_cycles(cost().sw.flag_op);
+  t += contention_delay(rank_, ref.owner_core, 1);
+  co_await charge_impl(Phase::kFlagOp, t);
+  machine_->flags().deposit(ref, value);
+}
+
+sim::Task<> CoreApi::flag_wait(FlagRef ref, FlagValue value) {
+  auto& flags = machine_->flags();
+  const SimTime start = now();
+  while (flags.value(ref) != value) {
+    co_await flags.waiters(ref).wait();
+  }
+  profile_.add(Phase::kFlagWait, now() - start);
+  // The read that detects the value.
+  const SimTime t =
+      machine_->latency().mpb_line_access(rank_, ref.owner_core,
+                                          /*is_read=*/true) +
+      machine_->latency().core_cycles(cost().sw.flag_op);
+  co_await charge_impl(Phase::kFlagOp, t);
+}
+
+sim::Task<FlagValue> CoreApi::flag_wait_change(FlagRef ref,
+                                               FlagValue last_seen) {
+  auto& flags = machine_->flags();
+  const SimTime start = now();
+  while (flags.value(ref) == last_seen) {
+    co_await flags.waiters(ref).wait();
+  }
+  profile_.add(Phase::kFlagWait, now() - start);
+  const SimTime t =
+      machine_->latency().mpb_line_access(rank_, ref.owner_core,
+                                          /*is_read=*/true) +
+      machine_->latency().core_cycles(cost().sw.flag_op);
+  co_await charge_impl(Phase::kFlagOp, t);
+  co_return machine_->flags().value(ref);
+}
+
+sim::Task<FlagValue> CoreApi::flag_read(FlagRef ref) {
+  const SimTime t = machine_->latency().mpb_line_access(rank_, ref.owner_core,
+                                                        /*is_read=*/true);
+  co_await charge_impl(Phase::kFlagOp, t);
+  co_return machine_->flags().value(ref);
+}
+
+FlagValue CoreApi::flag_peek(FlagRef ref) const {
+  return machine_->flags().value(ref);
+}
+
+sim::Task<> CoreApi::sync_barrier() {
+  auto& barrier = machine_->harness_barrier();
+  const std::uint64_t my_generation = barrier.generation;
+  if (++barrier.arrived == num_cores()) {
+    barrier.arrived = 0;
+    ++barrier.generation;
+    barrier.queue.notify_all();
+    co_return;
+  }
+  while (barrier.generation == my_generation) {
+    co_await barrier.queue.wait();
+  }
+}
+
+}  // namespace scc::machine

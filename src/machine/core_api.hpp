@@ -1,0 +1,111 @@
+// CoreApi: the per-core "instruction set" of the simulated SCC.
+//
+// Every operation a simulated core performs that costs virtual time is an
+// awaitable method here. Each op (a) charges latency from the cost model,
+// attributed to a profiling phase, and (b) applies its functional effect to
+// real storage, so the simulation is simultaneously a timing model and an
+// executable implementation whose results tests can verify.
+//
+// Timing semantics: all operations are core-blocking -- the core's virtual
+// time advances by the full charge before the next operation issues. Posted
+// remote writes (data puts, flag sets) include their one-way mesh transit
+// in the charge, so a value is globally visible no earlier than the
+// operation's completion; this is slightly conservative and keeps the
+// protocol layers free of reordering concerns (RCCE issues an MPB fence
+// before flag writes on the real chip for the same reason).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/time.hpp"
+#include "machine/flags.hpp"
+#include "machine/profile.hpp"
+#include "mem/cache.hpp"
+#include "mem/cost_model.hpp"
+#include "mem/latency.hpp"
+#include "mem/mpb.hpp"
+#include "sim/task.hpp"
+
+namespace scc::machine {
+
+class SccMachine;
+
+class CoreApi {
+ public:
+  CoreApi(SccMachine& machine, int rank);
+
+  CoreApi(const CoreApi&) = delete;
+  CoreApi& operator=(const CoreApi&) = delete;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int num_cores() const;
+  [[nodiscard]] SimTime now() const;
+  [[nodiscard]] const mem::CostModel& cost() const;
+  [[nodiscard]] CoreProfile& profile() { return profile_; }
+  [[nodiscard]] SccMachine& machine() { return *machine_; }
+
+  // --- time-only operations -------------------------------------------
+  /// Application arithmetic: n core cycles of compute.
+  [[nodiscard]] sim::Task<> compute(std::uint64_t core_cycles);
+  /// Library instruction-path overhead: n core cycles.
+  [[nodiscard]] sim::Task<> overhead(std::uint64_t core_cycles);
+  /// Raw charge attributed to an explicit phase.
+  [[nodiscard]] sim::Task<> charge(Phase phase, SimTime duration);
+
+  // --- MPB data movement ----------------------------------------------
+  /// Copies bytes from this core's private buffer into an MPB.
+  [[nodiscard]] sim::Task<> mpb_put(mem::MpbAddr dst,
+                                    std::span<const std::byte> src);
+  /// Copies bytes from an MPB into this core's private buffer.
+  [[nodiscard]] sim::Task<> mpb_get(mem::MpbAddr src,
+                                    std::span<std::byte> dst);
+  /// Timing-only MPB access charge (fused kernels apply their own effect).
+  [[nodiscard]] sim::Task<> mpb_charge(int mpb_owner, std::size_t bytes,
+                                       bool is_read);
+  /// Timing-only charge for word-granular uncached MPB streaming (the
+  /// direct-reduction data path of Section IV-D).
+  [[nodiscard]] sim::Task<> mpb_word_charge(int mpb_owner, std::size_t bytes,
+                                            bool is_read);
+  /// Direct functional access to MPB storage (no charge): used by fused
+  /// kernels together with mpb_charge, and by tests.
+  [[nodiscard]] std::span<std::byte> mpb_window(mem::MpbAddr addr,
+                                                std::size_t bytes);
+
+  // --- private (cacheable, off-chip) memory ----------------------------
+  [[nodiscard]] sim::Task<> priv_read(const void* p, std::size_t bytes);
+  [[nodiscard]] sim::Task<> priv_write(void* p, std::size_t bytes);
+
+  // --- synchronization flags -------------------------------------------
+  /// Writes a flag value (local or remote MPB write + fence).
+  [[nodiscard]] sim::Task<> flag_set(FlagRef ref, FlagValue value);
+  /// Blocks until the flag equals `value`; charges the detecting read.
+  /// Wait time is attributed to Phase::kFlagWait (rcce_wait_until).
+  [[nodiscard]] sim::Task<> flag_wait(FlagRef ref, FlagValue value);
+  /// Blocks until the flag differs from `last_seen`; returns the new value
+  /// and charges the detecting read. Used for cumulative-counter flags
+  /// (e.g. the RCKMPI channel's line counters), where equality waits could
+  /// miss intermediate values.
+  [[nodiscard]] sim::Task<FlagValue> flag_wait_change(FlagRef ref,
+                                                      FlagValue last_seen);
+  /// Non-blocking probe: charges one flag read, returns current value.
+  [[nodiscard]] sim::Task<FlagValue> flag_read(FlagRef ref);
+  /// Zero-cost peek for simulator-internal decisions (not charged).
+  [[nodiscard]] FlagValue flag_peek(FlagRef ref) const;
+
+  // --- harness-only ------------------------------------------------------
+  /// Zero-cost rendezvous of all cores; exists so experiments can align
+  /// cores before timing without perturbing the measured protocol.
+  [[nodiscard]] sim::Task<> sync_barrier();
+
+ private:
+  [[nodiscard]] sim::Task<> charge_impl(Phase phase, SimTime duration);
+  /// Extra queueing delay from the optional link-contention model.
+  [[nodiscard]] SimTime contention_delay(int from, int to, std::size_t bytes);
+
+  SccMachine* machine_;
+  int rank_;
+  CoreProfile profile_;
+};
+
+}  // namespace scc::machine

@@ -1,0 +1,42 @@
+#include "machine/scc_machine.hpp"
+
+#include "common/string_util.hpp"
+
+namespace scc::machine {
+
+SccMachine::SccMachine(SccConfig config)
+    : config_(config),
+      topology_(config.tiles_x, config.tiles_y, config.cores_per_tile),
+      mpb_(topology_.num_cores()),
+      flags_(engine_, topology_.num_cores(), config.flags_per_core),
+      latency_(config_.cost.hw, topology_),
+      traffic_(topology_),
+      contention_(topology_, config_.cost.hw.mesh_clock(),
+                  config_.cost.hw.link_service_mesh_cycles_per_line),
+      harness_barrier_(engine_) {
+  caches_.reserve(static_cast<std::size_t>(num_cores()));
+  cores_.reserve(static_cast<std::size_t>(num_cores()));
+  for (int rank = 0; rank < num_cores(); ++rank) {
+    caches_.emplace_back(config_.cost.hw);
+    cores_.push_back(std::make_unique<CoreApi>(*this, rank));
+    if (config_.poison_mpb) mpb_.poison(rank, std::byte{0xCD});
+  }
+}
+
+void SccMachine::launch(int rank, sim::Task<> program) {
+  SCC_EXPECTS(rank >= 0 && rank < num_cores());
+  engine_.spawn(std::move(program), strprintf("core%d", rank));
+}
+
+void SccMachine::flush_caches() {
+  for (auto& cache : caches_) cache.flush_all();
+}
+
+void launch_spmd(SccMachine& machine,
+                 const std::function<sim::Task<>(CoreApi&)>& factory) {
+  for (int rank = 0; rank < machine.num_cores(); ++rank) {
+    machine.launch(rank, factory(machine.core(rank)));
+  }
+}
+
+}  // namespace scc::machine

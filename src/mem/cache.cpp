@@ -1,0 +1,74 @@
+#include "mem/cache.hpp"
+
+namespace scc::mem {
+
+namespace {
+constexpr std::uintptr_t line_of(std::uintptr_t addr) {
+  return addr / kCacheLineBytes;
+}
+}  // namespace
+
+CacheModel::CacheModel(const HwCostModel& hw)
+    : capacity_(hw.cache_bytes / kCacheLineBytes) {
+  SCC_EXPECTS(capacity_ > 0);
+  map_.reserve(capacity_);
+}
+
+bool CacheModel::insert(std::uintptr_t line) {
+  lru_.push_front(line);
+  map_.emplace(line, Entry{lru_.begin(), false});
+  if (map_.size() <= capacity_) return false;
+  const std::uintptr_t victim = lru_.back();
+  lru_.pop_back();
+  const auto it = map_.find(victim);
+  SCC_ASSERT(it != map_.end());
+  const bool dirty = it->second.dirty;
+  map_.erase(it);
+  return dirty;
+}
+
+CacheAccessResult CacheModel::touch_read(std::uintptr_t addr,
+                                         std::size_t bytes) {
+  CacheAccessResult result;
+  if (bytes == 0) return result;
+  const std::uintptr_t first = line_of(addr);
+  const std::uintptr_t last = line_of(addr + bytes - 1);
+  for (std::uintptr_t line = first; line <= last; ++line) {
+    const auto it = map_.find(line);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      ++result.hits;
+      continue;
+    }
+    ++result.misses;
+    if (insert(line)) ++result.writebacks;
+  }
+  return result;
+}
+
+CacheAccessResult CacheModel::touch_write(std::uintptr_t addr,
+                                          std::size_t bytes) {
+  CacheAccessResult result;
+  if (bytes == 0) return result;
+  const std::uintptr_t first = line_of(addr);
+  const std::uintptr_t last = line_of(addr + bytes - 1);
+  for (std::uintptr_t line = first; line <= last; ++line) {
+    const auto it = map_.find(line);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      it->second.dirty = true;
+      ++result.hits;
+      continue;
+    }
+    // Non-write-allocate: the write goes to memory without filling a line.
+    ++result.uncached_writes;
+  }
+  return result;
+}
+
+void CacheModel::flush_all() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace scc::mem

@@ -1,0 +1,71 @@
+// Private-memory cache model (one per simulated core).
+//
+// Models the P54C core's cache hierarchy as a single level with the 256 KB
+// L2's capacity: 32-byte lines, LRU, write-back, non-write-allocate (the
+// documented SCC L2 policies). The paper's Section IV-D argument -- "only
+// the first access to a private memory address goes off-chip; later
+// accesses hit the cache, masking DRAM latency" -- is exactly what this
+// model reproduces, and it is why the MPB-direct Allreduce gains little
+// while the arbiter-bug workaround is active.
+//
+// The model is deliberately FULLY ASSOCIATIVE: user buffers live at host
+// heap addresses, and a set-indexed model would make simulated timing
+// depend on the allocator's placement (breaking run-to-run determinism,
+// a design requirement of this simulator). The cost is that conflict
+// misses are not modeled -- only capacity and cold misses -- which is the
+// right trade-off for reproducing the paper's cached-vs-MPB comparison.
+//
+// The model is a timing filter only: it classifies each touched line as
+// hit or miss. Data lives in ordinary host memory.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/contracts.hpp"
+#include "mem/cost_model.hpp"
+
+namespace scc::mem {
+
+struct CacheAccessResult {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;           // lines fetched from DRAM
+  std::uint64_t writebacks = 0;       // dirty lines evicted to DRAM
+  std::uint64_t uncached_writes = 0;  // write misses sent straight to DRAM
+};
+
+class CacheModel {
+ public:
+  explicit CacheModel(const HwCostModel& hw);
+
+  /// Touches [addr, addr+bytes) for reading; classifies each line.
+  CacheAccessResult touch_read(std::uintptr_t addr, std::size_t bytes);
+
+  /// Touches [addr, addr+bytes) for writing. Write hits dirty the line;
+  /// write misses do NOT allocate (non-write-allocate) and are counted as
+  /// uncached_writes.
+  CacheAccessResult touch_write(std::uintptr_t addr, std::size_t bytes);
+
+  /// Drops every line (cold-start experiments).
+  void flush_all();
+
+  [[nodiscard]] std::uint64_t resident_lines() const { return map_.size(); }
+  [[nodiscard]] std::uint64_t capacity_lines() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::list<std::uintptr_t>::iterator lru_pos;
+    bool dirty = false;
+  };
+
+  /// Inserts `line` as most-recently-used; evicts LRU on overflow.
+  /// Returns true when the eviction wrote back a dirty line.
+  bool insert(std::uintptr_t line);
+
+  std::uint64_t capacity_;
+  std::list<std::uintptr_t> lru_;  // front = most recently used
+  std::unordered_map<std::uintptr_t, Entry> map_;
+};
+
+}  // namespace scc::mem

@@ -1,0 +1,84 @@
+#include "mem/latency.hpp"
+
+namespace scc::mem {
+
+SimTime LatencyCalculator::mpb_line_access(int accessor, int mpb_owner,
+                                           bool is_read) const {
+  const Clock core = hw_->core_clock();
+  const Clock mesh = hw_->mesh_clock();
+  if (topo_->tile_of(accessor) == topo_->tile_of(mpb_owner)) {
+    // Local (same-tile) MPB. With the arbiter bug workaround, the access is
+    // converted into a self-addressed packet: 45 core + 8 mesh cycles.
+    if (hw_->mpb_bug_workaround) {
+      return core.cycles(hw_->mpb_local_bug_core_cycles) +
+             mesh.cycles(hw_->mpb_local_bug_mesh_cycles);
+    }
+    return core.cycles(hw_->mpb_local_core_cycles);
+  }
+  const auto hops = static_cast<std::uint64_t>(topo_->hops(accessor, mpb_owner));
+  const std::uint64_t directions = is_read ? 2 : 1;  // reads are round trips
+  return core.cycles(hw_->mpb_remote_core_cycles) +
+         mesh.cycles(directions * hops * hw_->mesh_cycles_per_hop);
+}
+
+SimTime LatencyCalculator::mpb_bulk(int accessor, int mpb_owner,
+                                    std::size_t bytes, bool is_read) const {
+  if (bytes == 0) return SimTime::zero();
+  const std::uint64_t lines = lines_for(bytes);
+  SimTime t = mpb_line_access(accessor, mpb_owner, is_read);
+  if (lines > 1) {
+    t += hw_->core_clock().cycles((lines - 1) *
+                                  hw_->mpb_pipelined_line_core_cycles);
+  }
+  return t;
+}
+
+SimTime LatencyCalculator::mpb_word_stream(int accessor, int mpb_owner,
+                                           std::size_t bytes,
+                                           bool is_read) const {
+  if (bytes == 0) return SimTime::zero();
+  const std::uint64_t words = (bytes + 3) / 4;  // 32-bit P54C words
+  const Clock core = hw_->core_clock();
+  const Clock mesh = hw_->mesh_clock();
+  if (topo_->tile_of(accessor) == topo_->tile_of(mpb_owner)) {
+    if (hw_->mpb_bug_workaround) {
+      return core.cycles(words * hw_->mpb_word_local_bug_core_cycles) +
+             mesh.cycles(words * hw_->mpb_local_bug_mesh_cycles);
+    }
+    return core.cycles(words * hw_->mpb_word_local_core_cycles);
+  }
+  const auto hops = static_cast<std::uint64_t>(topo_->hops(accessor, mpb_owner));
+  const std::uint64_t directions = is_read ? 2 : 1;
+  return core.cycles(words * hw_->mpb_word_remote_core_cycles) +
+         mesh.cycles(words * directions * hops * hw_->mesh_cycles_per_hop);
+}
+
+SimTime LatencyCalculator::mesh_transit(int from, int to) const {
+  const auto hops = static_cast<std::uint64_t>(topo_->hops(from, to));
+  return hw_->mesh_clock().cycles(hops * hw_->mesh_cycles_per_hop);
+}
+
+SimTime LatencyCalculator::priv_access(int core,
+                                       const CacheAccessResult& r) const {
+  const Clock core_clk = hw_->core_clock();
+  const Clock mesh = hw_->mesh_clock();
+  const Clock dram = hw_->dram_clock();
+  const auto mc_hops = static_cast<std::uint64_t>(topo_->hops_to_mc(core));
+
+  SimTime t = core_clk.cycles(r.hits * hw_->cache_hit_core_cycles);
+  const std::uint64_t dram_lines = r.misses + r.uncached_writes;
+  if (dram_lines > 0) {
+    // First missing line pays the full off-chip latency; the rest pipeline.
+    t += core_clk.cycles(hw_->dram_core_cycles) +
+         mesh.cycles(mc_hops * hw_->dram_mesh_cycles_per_hop) +
+         dram.cycles(hw_->dram_service_dram_cycles);
+    t += core_clk.cycles((dram_lines - 1) *
+                         hw_->dram_pipelined_line_core_cycles);
+  }
+  // Dirty evictions drain through the write buffer in the background; they
+  // only cost issue bandwidth at the core.
+  t += core_clk.cycles(r.writebacks * hw_->cache_write_core_cycles);
+  return t;
+}
+
+}  // namespace scc::mem

@@ -1,0 +1,70 @@
+// LatencyCalculator: the timing half of the memory system.
+//
+// Maps memory-system operations (MPB reads/writes, flag writes, cacheable
+// private-memory accesses) to virtual-time durations, composing the clock
+// domains and the hop distances of the mesh. Pure arithmetic -- no state --
+// so it can be unit-tested against the documented formulas directly.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "mem/cache.hpp"
+#include "mem/cost_model.hpp"
+#include "noc/topology.hpp"
+
+namespace scc::mem {
+
+[[nodiscard]] constexpr std::uint64_t lines_for(std::size_t bytes) {
+  return (bytes + kCacheLineBytes - 1) / kCacheLineBytes;
+}
+
+/// True when a transfer of `bytes` ends in a partial cache line, which
+/// costs RCCE an extra internal transfer call (the period-4 latency spikes
+/// in Fig. 9 -- 4 doubles per 32-byte line).
+[[nodiscard]] constexpr bool has_partial_line(std::size_t bytes) {
+  return bytes % kCacheLineBytes != 0;
+}
+
+class LatencyCalculator {
+ public:
+  LatencyCalculator(const HwCostModel& hw, const noc::Topology& topo)
+      : hw_(&hw), topo_(&topo) {}
+
+  /// Access by `accessor` to one line of `mpb_owner`'s MPB.
+  /// Reads are mesh round trips; writes are posted (one-way cost at the
+  /// issuing core). Local accesses honour the arbiter-bug workaround.
+  [[nodiscard]] SimTime mpb_line_access(int accessor, int mpb_owner,
+                                        bool is_read) const;
+
+  /// Bulk transfer of `bytes` between a core and an MPB: first line pays
+  /// the full access latency, subsequent lines pipeline.
+  [[nodiscard]] SimTime mpb_bulk(int accessor, int mpb_owner,
+                                 std::size_t bytes, bool is_read) const;
+
+  /// Word-granular uncached MPB streaming (the MPB-direct Allreduce's data
+  /// path): every 32-bit word pays the full access latency; no
+  /// write-combining, no line pipelining.
+  [[nodiscard]] SimTime mpb_word_stream(int accessor, int mpb_owner,
+                                        std::size_t bytes, bool is_read) const;
+
+  /// Mesh transit delay from core a's router to core b's (used for the
+  /// visibility delay of posted flag writes).
+  [[nodiscard]] SimTime mesh_transit(int from, int to) const;
+
+  /// Cacheable private-memory access, costed from a cache classification.
+  [[nodiscard]] SimTime priv_access(int core, const CacheAccessResult& r) const;
+
+  /// Plain compute: n core cycles.
+  [[nodiscard]] SimTime core_cycles(std::uint64_t n) const {
+    return hw_->core_clock().cycles(n);
+  }
+
+  [[nodiscard]] const HwCostModel& hw() const { return *hw_; }
+
+ private:
+  const HwCostModel* hw_;
+  const noc::Topology* topo_;
+};
+
+}  // namespace scc::mem

@@ -1,0 +1,52 @@
+#include "mem/mpb.hpp"
+
+#include <algorithm>
+
+namespace scc::mem {
+
+MpbStorage::MpbStorage(int num_cores, std::size_t bytes_per_core)
+    : num_cores_(num_cores),
+      bytes_per_core_(bytes_per_core),
+      storage_(static_cast<std::size_t>(num_cores) * bytes_per_core) {
+  SCC_EXPECTS(num_cores > 0);
+  SCC_EXPECTS(bytes_per_core > 0);
+}
+
+std::size_t MpbStorage::flat_index(MpbAddr addr, std::size_t bytes) const {
+  SCC_EXPECTS(addr.core >= 0 && addr.core < num_cores_);
+  SCC_EXPECTS(addr.offset <= bytes_per_core_);
+  SCC_EXPECTS(bytes <= bytes_per_core_ - addr.offset);
+  return static_cast<std::size_t>(addr.core) * bytes_per_core_ + addr.offset;
+}
+
+std::span<std::byte> MpbStorage::range(MpbAddr addr, std::size_t bytes) {
+  return {storage_.data() + flat_index(addr, bytes), bytes};
+}
+
+std::span<const std::byte> MpbStorage::range(MpbAddr addr,
+                                             std::size_t bytes) const {
+  return {storage_.data() + flat_index(addr, bytes), bytes};
+}
+
+void MpbStorage::write(MpbAddr dst, std::span<const std::byte> src) {
+  auto out = range(dst, src.size());
+  std::memcpy(out.data(), src.data(), src.size());
+}
+
+void MpbStorage::read(MpbAddr src, std::span<std::byte> dst) const {
+  auto in = range(src, dst.size());
+  std::memcpy(dst.data(), in.data(), dst.size());
+}
+
+void MpbStorage::copy(MpbAddr src, MpbAddr dst, std::size_t bytes) {
+  auto in = range(src, bytes);
+  auto out = range(dst, bytes);
+  std::memmove(out.data(), in.data(), bytes);
+}
+
+void MpbStorage::poison(int core, std::byte pattern) {
+  auto area = range(MpbAddr{core, 0}, bytes_per_core_);
+  std::fill(area.begin(), area.end(), pattern);
+}
+
+}  // namespace scc::mem

@@ -1,0 +1,32 @@
+#include "noc/contention.hpp"
+
+#include <algorithm>
+
+namespace scc::noc {
+
+SimTime LinkContention::occupy(CoreId a, CoreId b, std::uint64_t lines,
+                               SimTime now) {
+  if (lines == 0) return SimTime::zero();
+  const SimTime service =
+      mesh_clock_.cycles(lines * service_cycles_per_line_);
+  SimTime delay;
+  for (const LinkId& link : topo_->route(a, b)) {
+    SimTime& busy = busy_until_[key_of(link)];
+    const SimTime start = std::max(now + delay, busy);
+    delay += start - (now + delay);  // residual queueing on this link
+    busy = start + service;
+  }
+  if (delay > SimTime::zero()) {
+    total_delay_ += delay;
+    ++delayed_transfers_;
+  }
+  return delay;
+}
+
+void LinkContention::reset() {
+  busy_until_.clear();
+  total_delay_ = SimTime::zero();
+  delayed_transfers_ = 0;
+}
+
+}  // namespace scc::noc

@@ -1,0 +1,60 @@
+// Optional link-contention timing model.
+//
+// The paper's latency formulas (and this simulator's default) assume a
+// contention-free mesh: every transfer sees only its hop latency. That is
+// accurate for the mostly neighbour-local ring schedules the collectives
+// use, but dense patterns (Alltoall) do share links. This model adds
+// first-order queueing: each directed link keeps a busy-until horizon;
+// a transfer crossing occupied links is delayed by the residual busy time
+// and then occupies each link for lines * service_cycles.
+//
+// Enabled via HwCostModel::model_link_contention (default off, so the
+// calibrated figures are unchanged); the abl_contention benchmark
+// quantifies its effect. Deterministic: state depends only on the
+// (deterministic) transfer sequence.
+#pragma once
+
+#include <map>
+#include <tuple>
+
+#include "common/time.hpp"
+#include "noc/topology.hpp"
+
+namespace scc::noc {
+
+class LinkContention {
+ public:
+  LinkContention(const Topology& topo, Clock mesh_clock,
+                 std::uint32_t service_cycles_per_line)
+      : topo_(&topo),
+        mesh_clock_(mesh_clock),
+        service_cycles_per_line_(service_cycles_per_line) {}
+
+  /// Registers a transfer of `lines` cache lines from core a's router to
+  /// core b's starting at `now`; returns the extra queueing delay the
+  /// transfer suffers from earlier traffic still draining on its links.
+  SimTime occupy(CoreId a, CoreId b, std::uint64_t lines, SimTime now);
+
+  /// Total queueing delay handed out so far (for reporting).
+  [[nodiscard]] SimTime total_delay() const { return total_delay_; }
+  [[nodiscard]] std::uint64_t delayed_transfers() const {
+    return delayed_transfers_;
+  }
+
+  void reset();
+
+ private:
+  using Key = std::tuple<int, int, int, int>;  // from.x,from.y,to.x,to.y
+  static Key key_of(const LinkId& link) {
+    return {link.from.x, link.from.y, link.to.x, link.to.y};
+  }
+
+  const Topology* topo_;
+  Clock mesh_clock_;
+  std::uint32_t service_cycles_per_line_;
+  std::map<Key, SimTime> busy_until_;
+  SimTime total_delay_;
+  std::uint64_t delayed_transfers_ = 0;
+};
+
+}  // namespace scc::noc

@@ -1,0 +1,95 @@
+// MPB layout shared by the RCCE-family communication layers.
+//
+// Each core's 8 KB MPB is divided into:
+//   [ flag lines: one 32-byte line per remote writer ][ payload chunk ]
+//
+// Giving every potential writer its own line keeps flag writes free of
+// read-modify-write races at line granularity (the write-combining buffer
+// moves whole lines), mirroring RCCE's one-line-per-flag allocation.
+// Flag *indices* map into the machine's FlagFile:
+//   sent(from)    -- writer `from` staged a message for me
+//   ready(from)   -- writer `from` consumed the message I staged
+//   barrier(r)    -- dissemination-barrier round r (single writer each)
+//   mpb_filled(b)/mpb_free(b) -- MPB-direct Allreduce double buffering
+#pragma once
+
+#include <cstddef>
+
+#include "common/contracts.hpp"
+#include "machine/flags.hpp"
+#include "mem/cost_model.hpp"
+
+namespace scc::rcce {
+
+class Layout {
+ public:
+  explicit Layout(int num_cores,
+                  std::size_t mpb_bytes = mem::kMpbBytesPerCore)
+      : num_cores_(num_cores), mpb_bytes_(mpb_bytes) {
+    SCC_EXPECTS(num_cores > 0);
+    SCC_EXPECTS(payload_bytes() >= mem::kCacheLineBytes);
+  }
+
+  [[nodiscard]] int num_cores() const { return num_cores_; }
+
+  // --- flag indices ------------------------------------------------------
+  [[nodiscard]] machine::FlagRef sent_flag(int at_core, int from) const {
+    check_core(at_core);
+    check_core(from);
+    return {at_core, from};
+  }
+  [[nodiscard]] machine::FlagRef ready_flag(int at_core, int from) const {
+    check_core(at_core);
+    check_core(from);
+    return {at_core, num_cores_ + from};
+  }
+  [[nodiscard]] machine::FlagRef barrier_flag(int at_core, int round) const {
+    check_core(at_core);
+    SCC_EXPECTS(round >= 0 && round < 14);
+    return {at_core, 2 * num_cores_ + round};
+  }
+  /// Double-buffer handshake for the MPB-direct Allreduce: `filled` is set
+  /// by the left ring neighbour, `free` by the right one -- single writer
+  /// per flag either way.
+  [[nodiscard]] machine::FlagRef mpb_filled_flag(int at_core, int buf) const {
+    check_core(at_core);
+    SCC_EXPECTS(buf == 0 || buf == 1);
+    return {at_core, 2 * num_cores_ + 14 + buf};
+  }
+  [[nodiscard]] machine::FlagRef mpb_free_flag(int at_core, int buf) const {
+    check_core(at_core);
+    SCC_EXPECTS(buf == 0 || buf == 1);
+    return {at_core, 2 * num_cores_ + 16 + buf};
+  }
+  /// Number of flag slots this layout requires per core.
+  [[nodiscard]] int flags_needed() const { return 2 * num_cores_ + 18; }
+
+  // --- payload ------------------------------------------------------------
+  /// One reserved line per remote writer precedes the payload.
+  [[nodiscard]] std::size_t payload_offset() const {
+    return static_cast<std::size_t>(num_cores_) * mem::kCacheLineBytes;
+  }
+  [[nodiscard]] std::size_t payload_bytes() const {
+    SCC_EXPECTS(mpb_bytes_ > payload_offset());
+    return mpb_bytes_ - payload_offset();
+  }
+  /// Largest message staged in one piece (RCCE chunk size).
+  [[nodiscard]] std::size_t chunk_bytes() const { return payload_bytes(); }
+
+  [[nodiscard]] mem::MpbAddr payload_addr(int core,
+                                          std::size_t offset = 0) const {
+    check_core(core);
+    SCC_EXPECTS(offset < payload_bytes());
+    return {core, payload_offset() + offset};
+  }
+
+ private:
+  void check_core(int core) const {
+    SCC_EXPECTS(core >= 0 && core < num_cores_);
+  }
+
+  int num_cores_;
+  std::size_t mpb_bytes_;
+};
+
+}  // namespace scc::rcce

@@ -1,0 +1,138 @@
+#include "rcce/rcce.hpp"
+
+#include <algorithm>
+
+#include "common/aligned.hpp"
+#include "rcce/protocol.hpp"
+
+namespace scc::rcce {
+
+sim::Task<> Rcce::send(std::span<const std::byte> data, int dest) {
+  SCC_EXPECTS(dest >= 0 && dest < num_cores());
+  SCC_EXPECTS(dest != rank());
+  co_await api_->overhead(api_->cost().sw.rcce_send_call);
+  const std::size_t chunk_bytes = layout_->chunk_bytes();
+  std::size_t done = 0;
+  do {
+    const std::size_t len = std::min(chunk_bytes, data.size() - done);
+    co_await stage_and_signal(*api_, *layout_, data.subspan(done, len), dest);
+    co_await await_ack(*api_, *layout_, dest);
+    done += len;
+  } while (done < data.size());
+}
+
+sim::Task<> Rcce::recv(std::span<std::byte> data, int src) {
+  SCC_EXPECTS(src >= 0 && src < num_cores());
+  SCC_EXPECTS(src != rank());
+  co_await api_->overhead(api_->cost().sw.rcce_recv_call);
+  const std::size_t chunk_bytes = layout_->chunk_bytes();
+  std::size_t done = 0;
+  do {
+    const std::size_t len = std::min(chunk_bytes, data.size() - done);
+    co_await await_and_fetch(*api_, *layout_, data.subspan(done, len), src);
+    co_await ack_sender(*api_, *layout_, src);
+    done += len;
+  } while (done < data.size());
+}
+
+sim::Task<> Rcce::put(std::span<const std::byte> data, int dest_core,
+                      std::size_t payload_offset) {
+  co_await api_->priv_read(data.data(), data.size());
+  co_await api_->mpb_put(layout_->payload_addr(dest_core, payload_offset),
+                         data);
+}
+
+sim::Task<> Rcce::get(std::span<std::byte> data, int src_core,
+                      std::size_t payload_offset) {
+  co_await api_->mpb_get(layout_->payload_addr(src_core, payload_offset),
+                         data);
+  co_await api_->priv_write(data.data(), data.size());
+}
+
+sim::Task<> Rcce::barrier() {
+  const int p = num_cores();
+  const int self = rank();
+  // Per-object epoch distinguishes consecutive barriers; wraps inside the
+  // 8-bit flag range, skipping the initial value 0.
+  barrier_epoch_ = static_cast<std::uint8_t>(barrier_epoch_ % 255 + 1);
+  for (int dist = 1; dist < p; dist *= 2) {
+    const int round = [&] {
+      int r = 0;
+      for (int d = 1; d < dist; d *= 2) ++r;
+      return r;
+    }();
+    const int partner = (self + dist) % p;
+    co_await api_->flag_set(layout_->barrier_flag(partner, round),
+                            barrier_epoch_);
+    co_await api_->flag_wait(layout_->barrier_flag(self, round),
+                             barrier_epoch_);
+  }
+}
+
+sim::Task<> Rcce::bcast_naive(std::span<std::byte> data, int root) {
+  if (rank() == root) {
+    for (int peer = 0; peer < num_cores(); ++peer) {
+      if (peer == root) continue;
+      co_await send(data, peer);
+    }
+  } else {
+    co_await recv(data, root);
+  }
+}
+
+sim::Task<> Rcce::reduce_naive(std::span<const double> in,
+                               std::span<double> out, ReduceOp op, int root,
+                               bool all) {
+  SCC_EXPECTS(in.size() == out.size());
+  const auto bytes = [](std::span<double> s) {
+    return std::as_writable_bytes(s);
+  };
+  if (rank() == root) {
+    std::copy(in.begin(), in.end(), out.begin());
+    co_await api_->priv_read(in.data(), in.size_bytes());
+    co_await api_->priv_write(out.data(), out.size_bytes());
+    aligned_vector<double> tmp(in.size());
+    for (int peer = 0; peer < num_cores(); ++peer) {
+      if (peer == root) continue;
+      co_await recv(bytes(tmp), peer);
+      co_await apply_reduce(*api_, tmp, out, op);
+    }
+    if (all) {
+      for (int peer = 0; peer < num_cores(); ++peer) {
+        if (peer == root) continue;
+        co_await send(std::as_bytes(out), peer);
+      }
+    }
+  } else {
+    co_await send(std::as_bytes(in), root);
+    if (all) co_await recv(bytes(out), root);
+  }
+}
+
+sim::Task<> apply_reduce(machine::CoreApi& api, std::span<const double> value,
+                         std::span<double> acc, ReduceOp op) {
+  SCC_EXPECTS(value.size() == acc.size());
+  if (value.empty()) co_return;
+  co_await api.priv_read(value.data(), value.size_bytes());
+  co_await api.priv_read(acc.data(), acc.size_bytes());
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += value[i];
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = std::max(acc[i], value[i]);
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = std::min(acc[i], value[i]);
+      break;
+    case ReduceOp::kProd:
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] *= value[i];
+      break;
+  }
+  co_await api.compute(value.size() * api.cost().sw.reduce_cycles_per_element);
+  co_await api.priv_write(acc.data(), acc.size_bytes());
+}
+
+}  // namespace scc::rcce

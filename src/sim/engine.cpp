@@ -1,0 +1,76 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace scc::sim {
+
+void Engine::schedule_resume(SimTime when, std::coroutine_handle<> h) {
+  SCC_EXPECTS(when >= now_);
+  SCC_EXPECTS(h != nullptr);
+  queue_.push(Event{when, next_seq_++, h, nullptr});
+}
+
+void Engine::schedule_call(SimTime when, std::function<void()> fn) {
+  SCC_EXPECTS(when >= now_);
+  SCC_EXPECTS(fn != nullptr);
+  queue_.push(Event{when, next_seq_++, nullptr, std::move(fn)});
+}
+
+void Engine::spawn(Task<> task, std::string name) {
+  SCC_EXPECTS(task.valid());
+  roots_.push_back(Root{std::move(task), std::move(name)});
+  // Task is lazy; kick it off at the current time through the queue so
+  // spawn order equals first-run order.
+  queue_.push(
+      Event{now_, next_seq_++, roots_.back().task.native_handle(), nullptr});
+}
+
+void Engine::drain() {
+  SCC_EXPECTS(!running_);
+  running_ = true;
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the event is copied out (handles and
+    // std::function are cheap to move after const_cast-free copy).
+    Event ev = queue_.top();
+    queue_.pop();
+    SCC_ASSERT(ev.when >= now_);
+    now_ = ev.when;
+    ++events_processed_;
+    if (ev.handle) {
+      ev.handle.resume();
+    } else {
+      ev.call();
+    }
+  }
+  running_ = false;
+}
+
+void Engine::run() {
+  drain();
+  std::string stuck;
+  for (auto& root : roots_) {
+    if (!root.task.done()) {
+      if (!stuck.empty()) stuck += ", ";
+      stuck += root.name;
+    }
+  }
+  if (!stuck.empty())
+    throw std::runtime_error(
+        "simulation deadlock: event queue empty but tasks still blocked: " +
+        stuck);
+  for (auto& root : roots_) root.task.rethrow_if_failed();
+  roots_.clear();
+}
+
+bool Engine::run_detect_deadlock() {
+  drain();
+  bool all_done = true;
+  for (auto& root : roots_)
+    if (!root.task.done()) all_done = false;
+  if (all_done)
+    for (auto& root : roots_) root.task.rethrow_if_failed();
+  roots_.clear();
+  return all_done;
+}
+
+}  // namespace scc::sim

@@ -1,0 +1,96 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic: events at equal times fire in the order
+// they were scheduled (monotone sequence numbers break ties), so a given
+// program and seed always produce the identical virtual-time trace.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/time.hpp"
+#include "sim/task.hpp"
+
+namespace scc::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Resume `h` at absolute time `when` (must be >= now()).
+  void schedule_resume(SimTime when, std::coroutine_handle<> h);
+
+  /// Run `fn` at absolute time `when` (must be >= now()).
+  void schedule_call(SimTime when, std::function<void()> fn);
+
+  /// Awaitable: suspend the current coroutine for `duration`.
+  /// Zero-duration sleeps still round-trip through the queue so two tasks
+  /// "running at the same instant" interleave deterministically.
+  [[nodiscard]] auto sleep_for(SimTime duration) {
+    struct Awaiter {
+      Engine& engine;
+      SimTime wake;
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        engine.schedule_resume(wake, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, now_ + duration};
+  }
+
+  /// Registers a root task (e.g. one simulated core's program). The engine
+  /// owns it for the duration of run(); the task starts at time now().
+  /// `name` appears in deadlock diagnostics.
+  void spawn(Task<> task, std::string name);
+
+  /// Runs until the event queue drains. Throws std::runtime_error if any
+  /// root task is still unfinished then (deadlock), listing the stuck tasks;
+  /// rethrows the first root-task exception, if any.
+  void run();
+
+  /// Like run() but returns false instead of throwing when root tasks are
+  /// deadlocked (used by tests that *expect* deadlock).
+  [[nodiscard]] bool run_detect_deadlock();
+
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return events_processed_;
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;    // either handle ...
+    std::function<void()> call;        // ... or call is set
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct Root {
+    Task<> task;
+    std::string name;
+  };
+
+  void drain();
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<Root> roots_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace scc::sim

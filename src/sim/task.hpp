@@ -1,0 +1,200 @@
+// Coroutine task type for the discrete-event simulator.
+//
+// Every simulated core runs its program as a Task<> coroutine; every
+// operation with a virtual-time cost is itself awaitable. The whole
+// simulation is single-threaded and deterministic (Core Guidelines CP.2:
+// no shared mutable state between OS threads -- parallelism here is
+// *simulated*, not executed).
+//
+// Task<T> is lazy (suspends at initial_suspend) and resumes its awaiting
+// parent via symmetric transfer at final_suspend, so arbitrarily deep call
+// chains cost no stack growth and no scheduler round-trips.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace scc::sim {
+
+template <typename T = void>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;  // resumed when this task finishes
+  std::exception_ptr exception;
+
+  struct FinalAwaiter {
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto& promise = h.promise();
+      if (promise.continuation) return promise.continuation;
+      return std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  [[nodiscard]] std::suspend_always initial_suspend() const noexcept {
+    return {};
+  }
+  [[nodiscard]] FinalAwaiter final_suspend() const noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// An awaitable, lazily-started coroutine returning T.
+/// Move-only; owns the coroutine frame.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    template <typename U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(handle_); }
+  [[nodiscard]] bool done() const { return handle_ && handle_.done(); }
+
+  /// Awaiting a Task starts it and suspends the awaiter until it completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      [[nodiscard]] bool await_ready() const noexcept {
+        return !handle || handle.done();
+      }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;  // symmetric transfer into the child
+      }
+      T await_resume() {
+        auto& promise = handle.promise();
+        if (promise.exception) std::rethrow_exception(promise.exception);
+        SCC_ASSERT(promise.value.has_value());
+        return std::move(*promise.value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  /// For the engine only: the raw handle (used to start root tasks).
+  [[nodiscard]] std::coroutine_handle<promise_type> native_handle() const {
+    return handle_;
+  }
+
+  /// Result extraction after completion (root tasks driven by the engine).
+  [[nodiscard]] T& result() {
+    SCC_EXPECTS(done());
+    auto& promise = handle_.promise();
+    if (promise.exception) std::rethrow_exception(promise.exception);
+    return *promise.value;
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// void specialization.
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() const noexcept {}
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(handle_); }
+  [[nodiscard]] bool done() const { return handle_ && handle_.done(); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      [[nodiscard]] bool await_ready() const noexcept {
+        return !handle || handle.done();
+      }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;
+      }
+      void await_resume() {
+        if (handle.promise().exception)
+          std::rethrow_exception(handle.promise().exception);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  [[nodiscard]] std::coroutine_handle<promise_type> native_handle() const {
+    return handle_;
+  }
+
+  void rethrow_if_failed() {
+    SCC_EXPECTS(done());
+    if (handle_.promise().exception)
+      std::rethrow_exception(handle_.promise().exception);
+  }
+
+ private:
+  friend struct promise_type;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace scc::sim

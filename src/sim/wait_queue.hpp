@@ -1,0 +1,54 @@
+// WaitQueue: the simulator's condition-variable analogue.
+//
+// A coroutine that must block until some simulated state changes (e.g. an
+// MPB flag is written) awaits the queue; whoever changes the state calls
+// notify_all(). Waiters are resumed *through the engine queue* at the
+// notifier's current time, never inline, so notification order cannot
+// depend on incidental call stacks (determinism).
+#pragma once
+
+#include <coroutine>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace scc::sim {
+
+class WaitQueue {
+ public:
+  explicit WaitQueue(Engine& engine) : engine_(&engine) {}
+
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+  WaitQueue(WaitQueue&&) = default;
+  WaitQueue& operator=(WaitQueue&&) = default;
+
+  /// Awaitable: park the current coroutine until the next notify_all().
+  /// Typical use is a re-check loop:
+  ///   while (!predicate()) co_await queue.wait();
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      WaitQueue& queue;
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        queue.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Wakes every parked waiter (scheduled at the engine's current time).
+  void notify_all() {
+    for (const auto h : waiters_) engine_->schedule_resume(engine_->now(), h);
+    waiters_.clear();
+  }
+
+  [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Engine* engine_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace scc::sim

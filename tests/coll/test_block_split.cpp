@@ -1,0 +1,140 @@
+#include "coll/block_split.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scc::coll {
+namespace {
+
+void expect_partition(const std::vector<Block>& blocks, std::size_t n) {
+  std::size_t offset = 0;
+  for (const Block& b : blocks) {
+    EXPECT_EQ(b.offset, offset);
+    offset += b.count;
+  }
+  EXPECT_EQ(offset, n);
+}
+
+TEST(BlockSplit, EvenDivisionIdenticalForBothPolicies) {
+  const auto standard = split_blocks(528, 48, SplitPolicy::kStandard);
+  const auto balanced = split_blocks(528, 48, SplitPolicy::kBalanced);
+  for (int b = 0; b < 48; ++b) {
+    EXPECT_EQ(standard[static_cast<std::size_t>(b)].count, 11u);
+    EXPECT_EQ(balanced[static_cast<std::size_t>(b)].count, 11u);
+  }
+}
+
+TEST(BlockSplit, PaperFig6MiddleCase552) {
+  // 552 = 48*11 + 24: standard glues 24 extra elements onto block 0.
+  const auto standard = split_blocks(552, 48, SplitPolicy::kStandard);
+  EXPECT_EQ(standard[0].count, 35u);
+  EXPECT_EQ(standard[1].count, 11u);
+  EXPECT_NEAR(imbalance_ratio(standard), 35.0 / 11.0, 1e-12);  // ~3.2:1
+
+  const auto balanced = split_blocks(552, 48, SplitPolicy::kBalanced);
+  EXPECT_EQ(balanced[0].count, 12u);
+  EXPECT_EQ(balanced[23].count, 12u);
+  EXPECT_EQ(balanced[24].count, 11u);
+  EXPECT_NEAR(imbalance_ratio(balanced), 12.0 / 11.0, 1e-12);  // ~1.1:1
+}
+
+TEST(BlockSplit, PaperFig6WorstCase575) {
+  // 575 = 48*11 + 47: worst case, block 0 is 58 elements (~5.3:1).
+  const auto standard = split_blocks(575, 48, SplitPolicy::kStandard);
+  EXPECT_EQ(standard[0].count, 58u);
+  EXPECT_NEAR(imbalance_ratio(standard), 58.0 / 11.0, 1e-12);
+  const auto balanced = split_blocks(575, 48, SplitPolicy::kBalanced);
+  EXPECT_NEAR(imbalance_ratio(balanced), 12.0 / 11.0, 1e-12);
+}
+
+TEST(BlockSplit, SingleCoreGetsEverything) {
+  const auto blocks = split_blocks(100, 1, SplitPolicy::kStandard);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].count, 100u);
+}
+
+TEST(BlockSplit, FewerElementsThanCores) {
+  const auto standard = split_blocks(5, 8, SplitPolicy::kStandard);
+  EXPECT_EQ(standard[0].count, 5u);  // all in block 0
+  for (int b = 1; b < 8; ++b)
+    EXPECT_EQ(standard[static_cast<std::size_t>(b)].count, 0u);
+  const auto balanced = split_blocks(5, 8, SplitPolicy::kBalanced);
+  for (int b = 0; b < 5; ++b)
+    EXPECT_EQ(balanced[static_cast<std::size_t>(b)].count, 1u);
+  for (int b = 5; b < 8; ++b)
+    EXPECT_EQ(balanced[static_cast<std::size_t>(b)].count, 0u);
+}
+
+TEST(BlockSplit, ZeroElements) {
+  const auto blocks = split_blocks(0, 4, SplitPolicy::kBalanced);
+  expect_partition(blocks, 0);
+}
+
+struct SplitCase {
+  std::size_t n;
+  int p;
+};
+
+class SplitProperty : public ::testing::TestWithParam<SplitCase> {};
+
+TEST_P(SplitProperty, PartitionInvariants) {
+  const auto [n, p] = GetParam();
+  for (const SplitPolicy policy :
+       {SplitPolicy::kStandard, SplitPolicy::kBalanced}) {
+    const auto blocks = split_blocks(n, p, policy);
+    ASSERT_EQ(blocks.size(), static_cast<std::size_t>(p));
+    expect_partition(blocks, n);
+  }
+}
+
+TEST_P(SplitProperty, BalancedDiffersByAtMostOne) {
+  const auto [n, p] = GetParam();
+  const auto blocks = split_blocks(n, p, SplitPolicy::kBalanced);
+  std::size_t max_c = 0, min_c = n + 1;
+  for (const Block& b : blocks) {
+    max_c = std::max(max_c, b.count);
+    min_c = std::min(min_c, b.count);
+  }
+  EXPECT_LE(max_c - min_c, 1u);
+}
+
+TEST_P(SplitProperty, StandardRemainderOnBlockZero) {
+  const auto [n, p] = GetParam();
+  const auto blocks = split_blocks(n, p, SplitPolicy::kStandard);
+  const std::size_t general = n / static_cast<std::size_t>(p);
+  EXPECT_EQ(blocks[0].count, general + n % static_cast<std::size_t>(p));
+  for (std::size_t b = 1; b < blocks.size(); ++b)
+    EXPECT_EQ(blocks[b].count, general);
+}
+
+TEST_P(SplitProperty, BalancedNeverWorseThanStandard) {
+  const auto [n, p] = GetParam();
+  const auto standard = split_blocks(n, p, SplitPolicy::kStandard);
+  const auto balanced = split_blocks(n, p, SplitPolicy::kBalanced);
+  EXPECT_LE(imbalance_ratio(balanced), imbalance_ratio(standard) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SplitProperty,
+    ::testing::Values(SplitCase{0, 1}, SplitCase{1, 1}, SplitCase{1, 48},
+                      SplitCase{47, 48}, SplitCase{48, 48}, SplitCase{49, 48},
+                      SplitCase{500, 48}, SplitCase{528, 48},
+                      SplitCase{552, 48}, SplitCase{575, 48},
+                      SplitCase{576, 48}, SplitCase{700, 48},
+                      SplitCase{1000, 7}, SplitCase{1024, 3},
+                      SplitCase{13, 5}),
+    [](const auto& param_info) {
+      return "n" + std::to_string(param_info.param.n) + "_p" +
+             std::to_string(param_info.param.p);
+    });
+
+TEST(ImbalanceRatio, EmptyAndUniformAreOne) {
+  EXPECT_DOUBLE_EQ(imbalance_ratio({}), 1.0);
+  EXPECT_DOUBLE_EQ(imbalance_ratio({{0, 5}, {5, 5}}), 1.0);
+}
+
+TEST(ImbalanceRatio, IgnoresEmptyBlocks) {
+  EXPECT_DOUBLE_EQ(imbalance_ratio({{0, 6}, {6, 0}, {6, 3}}), 2.0);
+}
+
+}  // namespace
+}  // namespace scc::coll

@@ -1,0 +1,211 @@
+// Timing-shape properties of the optimizations (paper Section IV/V),
+// verified on a small mesh so each check runs in milliseconds:
+//  - relaxed synchronization is never slower than blocking,
+//  - lightweight primitives are never slower than iRCCE,
+//  - balanced splitting wins whenever n mod p != 0 and ties otherwise,
+//  - the period-4 cache-line spikes exist for the RCCE-family stacks,
+//  - the reduction sawtooth rises within a multiple-of-p segment.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/runner.hpp"
+
+namespace scc::harness {
+namespace {
+
+machine::SccConfig mesh8() {
+  machine::SccConfig config;
+  config.tiles_x = 2;
+  config.tiles_y = 2;
+  return config;
+}
+
+double latency_us(Collective coll, PaperVariant variant, std::size_t n) {
+  RunSpec spec;
+  spec.collective = coll;
+  spec.variant = variant;
+  spec.elements = n;
+  spec.repetitions = 2;
+  spec.warmup = 1;
+  spec.verify = false;
+  spec.config = mesh8();
+  return run_collective(spec).mean_latency.us();
+}
+
+class NonBlockingNeverSlower : public ::testing::TestWithParam<Collective> {};
+
+// Broadcast only benefits on its long-vector (scatter+allgather) path;
+// the short binomial path has no exchanges to relax, so sizes below the
+// 128-element switch are excluded for it.
+std::vector<std::size_t> sizes_for(Collective coll) {
+  if (coll == Collective::kBroadcast) return {160, 200};
+  // Reduce's linear gather phase is one-directional (no exchange to
+  // overlap), so its non-blocking gain needs enough ReduceScatter rounds
+  // to show; use larger sizes there.
+  if (coll == Collective::kReduce) return {100, 160};
+  return {64, 100};
+}
+
+TEST_P(NonBlockingNeverSlower, IrcceBeatsBlocking) {
+  const Collective coll = GetParam();
+  for (const std::size_t n : sizes_for(coll)) {
+    EXPECT_LT(latency_us(coll, PaperVariant::kIrcce, n),
+              latency_us(coll, PaperVariant::kBlocking, n))
+        << collective_name(coll) << " n=" << n;
+  }
+}
+
+TEST_P(NonBlockingNeverSlower, LightweightBeatsIrcce) {
+  const Collective coll = GetParam();
+  for (const std::size_t n : sizes_for(coll)) {
+    EXPECT_LT(latency_us(coll, PaperVariant::kLightweight, n),
+              latency_us(coll, PaperVariant::kIrcce, n))
+        << collective_name(coll) << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCollectives, NonBlockingNeverSlower,
+    ::testing::Values(Collective::kAllgather, Collective::kAlltoall,
+                      Collective::kReduceScatter, Collective::kBroadcast,
+                      Collective::kReduce, Collective::kAllreduce),
+    [](const auto& param_info) {
+      return std::string(collective_name(param_info.param));
+    });
+
+class BalancedWins : public ::testing::TestWithParam<Collective> {};
+
+TEST_P(BalancedWins, AtWorstCaseRemainder) {
+  const Collective coll = GetParam();
+  // p=8: remainder 7 is the worst case for the standard split (159 for
+  // broadcast, which needs its long-vector path; 95 elsewhere).
+  const std::size_t n = coll == Collective::kBroadcast ? 159 : 95;
+  EXPECT_LT(latency_us(coll, PaperVariant::kLwBalanced, n),
+            latency_us(coll, PaperVariant::kLightweight, n));
+}
+
+TEST_P(BalancedWins, TiesWhenDivisible) {
+  const Collective coll = GetParam();
+  const std::size_t n = coll == Collective::kBroadcast ? 160 : 96;
+  const double balanced = latency_us(coll, PaperVariant::kLwBalanced, n);
+  const double standard = latency_us(coll, PaperVariant::kLightweight, n);
+  EXPECT_NEAR(balanced, standard, standard * 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SplittingCollectives, BalancedWins,
+    ::testing::Values(Collective::kReduceScatter, Collective::kBroadcast,
+                      Collective::kReduce, Collective::kAllreduce),
+    [](const auto& param_info) {
+      return std::string(collective_name(param_info.param));
+    });
+
+TEST(LatencyShape, CacheLineSpikesPeriodFour) {
+  // 96 doubles divide into 8 blocks of 12 (= 3 full lines); 97 doubles
+  // leave a partial line in some block -> extra transfer call.
+  const double aligned = latency_us(Collective::kAllgather,
+                                    PaperVariant::kLightweight, 96);
+  const double spiked = latency_us(Collective::kAllgather,
+                                   PaperVariant::kLightweight, 97);
+  EXPECT_GT(spiked, aligned);
+}
+
+TEST(LatencyShape, RckmpiHasNoCacheLineSpikes) {
+  // The packetized channel always moves whole lines: no extra-call spike.
+  const double aligned = latency_us(Collective::kAllgather,
+                                    PaperVariant::kRckmpi, 96);
+  const double next = latency_us(Collective::kAllgather,
+                                 PaperVariant::kRckmpi, 97);
+  // Latency grows by at most one extra line per transfer, a tiny fraction.
+  EXPECT_LT(next, aligned * 1.03);
+}
+
+TEST(LatencyShape, ReductionSawtoothRisesWithRemainder) {
+  // Within a segment [k*p, (k+1)*p) the standard-split latency rises as
+  // the first block absorbs a growing remainder (paper Fig. 9e/f).
+  const double at_96 = latency_us(Collective::kAllreduce,
+                                  PaperVariant::kLightweight, 96);
+  const double at_100 = latency_us(Collective::kAllreduce,
+                                   PaperVariant::kLightweight, 100);
+  const double at_103 = latency_us(Collective::kAllreduce,
+                                   PaperVariant::kLightweight, 103);
+  EXPECT_GT(at_100, at_96);
+  EXPECT_GT(at_103, at_100);
+}
+
+TEST(LatencyShape, BalancedFlattensTheSawtooth) {
+  // Paper Fig. 9f: between 528 (= 11*48, perfectly even) and 552 elements
+  // the standard split's first block balloons 11 -> 35 elements while the
+  // balanced split's largest block only grows 11 -> 12; the balanced
+  // latency must stay "qualitatively on the same level" (Section V-A).
+  // Run on the full 48-core machine where the effect is first-order.
+  const auto full = [](PaperVariant v, std::size_t n) {
+    RunSpec spec;
+    spec.collective = Collective::kAllreduce;
+    spec.variant = v;
+    spec.elements = n;
+    spec.repetitions = 2;
+    spec.warmup = 1;
+    spec.verify = false;
+    return run_collective(spec).mean_latency.us();
+  };
+  const double spread_standard =
+      full(PaperVariant::kLightweight, 552) - full(PaperVariant::kLightweight, 528);
+  const double spread_balanced =
+      full(PaperVariant::kLwBalanced, 552) - full(PaperVariant::kLwBalanced, 528);
+  EXPECT_LT(spread_balanced, spread_standard * 0.5);
+}
+
+TEST(LatencyShape, MpbAllreduceCompetitiveWithBalanced) {
+  // With the arbiter-bug workaround active the MPB routine is only
+  // marginally different from the lightweight+balanced stack (Section
+  // IV-D measured ~10%); "competitive" here = within 30% either way.
+  // On the small 8-core test mesh the word-granular direct-MPB accesses
+  // weigh relatively more than at full scale, so the band is wider here;
+  // the 48-core behaviour is pinned by test_paper_shape.
+  const double balanced =
+      latency_us(Collective::kAllreduce, PaperVariant::kLwBalanced, 96);
+  const double mpb = latency_us(Collective::kAllreduce, PaperVariant::kMpb, 96);
+  EXPECT_LT(mpb, balanced * 1.45);
+  EXPECT_GT(mpb, balanced * 0.5);
+}
+
+TEST(LatencyShape, MpbBugAblationWidensTheGap) {
+  // Without the workaround the direct-MPB data path gains more than the
+  // copy-based stack does.
+  machine::SccConfig bug_on = mesh8();
+  machine::SccConfig bug_off = mesh8();
+  bug_off.cost.hw.mpb_bug_workaround = false;
+
+  const auto run = [](Collective c, PaperVariant v, std::size_t n,
+                      const machine::SccConfig& config) {
+    RunSpec spec;
+    spec.collective = c;
+    spec.variant = v;
+    spec.elements = n;
+    spec.repetitions = 2;
+    spec.warmup = 1;
+    spec.verify = false;
+    spec.config = config;
+    return run_collective(spec).mean_latency.us();
+  };
+  const double speedup_bug_on =
+      run(Collective::kAllreduce, PaperVariant::kLwBalanced, 96, bug_on) /
+      run(Collective::kAllreduce, PaperVariant::kMpb, 96, bug_on);
+  const double speedup_bug_off =
+      run(Collective::kAllreduce, PaperVariant::kLwBalanced, 96, bug_off) /
+      run(Collective::kAllreduce, PaperVariant::kMpb, 96, bug_off);
+  EXPECT_GT(speedup_bug_off, speedup_bug_on);
+}
+
+TEST(LatencyShape, DeterministicAcrossRuns) {
+  const double a = latency_us(Collective::kAllreduce,
+                              PaperVariant::kBlocking, 100);
+  const double b = latency_us(Collective::kAllreduce,
+                              PaperVariant::kBlocking, 100);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace scc::harness

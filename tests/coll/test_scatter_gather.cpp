@@ -1,0 +1,217 @@
+// Scatter / Gather / Allgatherv / Barrier correctness across primitive
+// layers, roots and sizes.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "coll/collectives.hpp"
+#include "common/aligned.hpp"
+#include "machine/scc_machine.hpp"
+
+namespace scc::coll {
+namespace {
+
+machine::SccConfig mesh8() {
+  machine::SccConfig config;
+  config.tiles_x = 2;
+  config.tiles_y = 2;
+  return config;
+}
+
+struct Buffers {
+  aligned_vector<double> send;
+  aligned_vector<double> recv;
+  aligned_vector<std::size_t> counts;
+};
+
+sim::Task<> scatter_prog(machine::CoreApi& api, const rcce::Layout* layout,
+                         Prims prims, Buffers* b, int root) {
+  Stack stack(api, *layout, prims);
+  co_await scatter(stack, b->send, b->recv, root);
+}
+
+struct ScatterCase {
+  Prims prims;
+  int root;
+  std::size_t n;
+};
+
+class ScatterGather : public ::testing::TestWithParam<ScatterCase> {};
+
+TEST_P(ScatterGather, ScatterDistributesBlocks) {
+  const auto [prims, root, n] = GetParam();
+  machine::SccMachine machine(mesh8());
+  const int p = machine.num_cores();
+  const rcce::Layout layout(p);
+  std::vector<Buffers> buffers(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    auto& b = buffers[static_cast<std::size_t>(r)];
+    b.recv.assign(n, -1.0);
+    if (r == root) {
+      b.send.resize(n * static_cast<std::size_t>(p));
+      std::iota(b.send.begin(), b.send.end(), 0.0);
+    }
+  }
+  for (int r = 0; r < p; ++r)
+    machine.launch(r, scatter_prog(machine.core(r), &layout, prims,
+                                   &buffers[static_cast<std::size_t>(r)],
+                                   root));
+  machine.run();
+  for (int r = 0; r < p; ++r)
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_DOUBLE_EQ(buffers[static_cast<std::size_t>(r)].recv[i],
+                       static_cast<double>(static_cast<std::size_t>(r) * n + i))
+          << "core " << r << " element " << i;
+}
+
+sim::Task<> gather_prog(machine::CoreApi& api, const rcce::Layout* layout,
+                        Prims prims, Buffers* b, int root) {
+  Stack stack(api, *layout, prims);
+  co_await gather(stack, b->send, b->recv, root);
+}
+
+TEST_P(ScatterGather, GatherCollectsBlocks) {
+  const auto [prims, root, n] = GetParam();
+  machine::SccMachine machine(mesh8());
+  const int p = machine.num_cores();
+  const rcce::Layout layout(p);
+  std::vector<Buffers> buffers(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    auto& b = buffers[static_cast<std::size_t>(r)];
+    b.send.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      b.send[i] = static_cast<double>(static_cast<std::size_t>(r) * 1000 + i);
+    if (r == root) b.recv.assign(n * static_cast<std::size_t>(p), -1.0);
+  }
+  for (int r = 0; r < p; ++r)
+    machine.launch(r, gather_prog(machine.core(r), &layout, prims,
+                                  &buffers[static_cast<std::size_t>(r)],
+                                  root));
+  machine.run();
+  for (int src = 0; src < p; ++src)
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_DOUBLE_EQ(
+          buffers[static_cast<std::size_t>(root)]
+              .recv[static_cast<std::size_t>(src) * n + i],
+          static_cast<double>(static_cast<std::size_t>(src) * 1000 + i));
+}
+
+TEST_P(ScatterGather, GatherInvertsScatter) {
+  const auto [prims, root, n] = GetParam();
+  machine::SccMachine machine(mesh8());
+  const int p = machine.num_cores();
+  const rcce::Layout layout(p);
+  std::vector<Buffers> buffers(static_cast<std::size_t>(p));
+  aligned_vector<double> original(n * static_cast<std::size_t>(p));
+  std::iota(original.begin(), original.end(), 100.0);
+  struct RoundTrip {
+    static sim::Task<> run(machine::CoreApi& api, const rcce::Layout* layout,
+                           Prims prims, Buffers* b, int root) {
+      Stack stack(api, *layout, prims);
+      co_await scatter(stack, b->send, b->recv, root);
+      // recv (my block) back into send position at the root.
+      co_await gather(stack,
+                      std::span<const double>(b->recv.data(), b->recv.size()),
+                      b->send, root);
+    }
+  };
+  for (int r = 0; r < p; ++r) {
+    auto& b = buffers[static_cast<std::size_t>(r)];
+    b.recv.assign(n, 0.0);
+    b.send.resize(r == root ? n * static_cast<std::size_t>(p) : 0);
+    if (r == root) b.send = original;
+  }
+  for (int r = 0; r < p; ++r)
+    machine.launch(r, RoundTrip::run(machine.core(r), &layout, prims,
+                                     &buffers[static_cast<std::size_t>(r)],
+                                     root));
+  machine.run();
+  EXPECT_EQ(buffers[static_cast<std::size_t>(root)].send, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ScatterGather,
+    ::testing::Values(ScatterCase{Prims::kBlocking, 0, 12},
+                      ScatterCase{Prims::kBlocking, 5, 7},
+                      ScatterCase{Prims::kIrcce, 3, 12},
+                      ScatterCase{Prims::kLightweight, 0, 12},
+                      ScatterCase{Prims::kLightweight, 7, 33}),
+    [](const auto& param_info) {
+      return std::string(prims_name(param_info.param.prims)) + "_root" +
+             std::to_string(param_info.param.root) + "_n" +
+             std::to_string(param_info.param.n);
+    });
+
+sim::Task<> allgatherv_prog(machine::CoreApi& api, const rcce::Layout* layout,
+                            Buffers* b) {
+  Stack stack(api, *layout, Prims::kLightweight);
+  co_await allgatherv(
+      stack, std::span<const double>(b->send.data(), b->send.size()),
+      std::span<const std::size_t>(b->counts.data(), b->counts.size()),
+      b->recv);
+}
+
+TEST(Allgatherv, IrregularContributions) {
+  machine::SccMachine machine(mesh8());
+  const int p = machine.num_cores();
+  const rcce::Layout layout(p);
+  // Counts 1, 2, ..., including a zero contributor.
+  std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+  std::size_t total = 0;
+  for (int i = 0; i < p; ++i) {
+    counts[static_cast<std::size_t>(i)] =
+        static_cast<std::size_t>(i == 3 ? 0 : i + 1);
+    total += counts[static_cast<std::size_t>(i)];
+  }
+  std::vector<Buffers> buffers(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    auto& b = buffers[static_cast<std::size_t>(r)];
+    b.counts.assign(counts.begin(), counts.end());
+    b.send.resize(counts[static_cast<std::size_t>(r)]);
+    for (std::size_t i = 0; i < b.send.size(); ++i)
+      b.send[i] = static_cast<double>(r * 100 + static_cast<int>(i));
+    b.recv.assign(total, -1.0);
+  }
+  for (int r = 0; r < p; ++r)
+    machine.launch(r, allgatherv_prog(machine.core(r), &layout,
+                                      &buffers[static_cast<std::size_t>(r)]));
+  machine.run();
+  for (int r = 0; r < p; ++r) {
+    std::size_t offset = 0;
+    for (int src = 0; src < p; ++src) {
+      for (std::size_t i = 0; i < counts[static_cast<std::size_t>(src)]; ++i) {
+        EXPECT_DOUBLE_EQ(buffers[static_cast<std::size_t>(r)].recv[offset + i],
+                         static_cast<double>(src * 100 + static_cast<int>(i)));
+      }
+      offset += counts[static_cast<std::size_t>(src)];
+    }
+  }
+}
+
+sim::Task<> barrier_prog(machine::CoreApi& api, const rcce::Layout* layout,
+                         std::uint64_t pre, SimTime* after) {
+  Stack stack(api, *layout, Prims::kLightweight);
+  co_await api.compute(pre);
+  co_await barrier(stack);
+  *after = api.now();
+}
+
+TEST(CollBarrier, NoCoreEscapesEarly) {
+  machine::SccMachine machine(mesh8());
+  const int p = machine.num_cores();
+  const rcce::Layout layout(p);
+  std::vector<SimTime> after(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r)
+    machine.launch(r, barrier_prog(machine.core(r), &layout,
+                                   static_cast<std::uint64_t>(r) * 40000,
+                                   &after[static_cast<std::size_t>(r)]));
+  machine.run();
+  const SimTime slowest =
+      Clock{533e6}.cycles(static_cast<std::uint64_t>(p - 1) * 40000);
+  for (int r = 0; r < p; ++r)
+    EXPECT_GE(after[static_cast<std::size_t>(r)], slowest);
+}
+
+}  // namespace
+}  // namespace scc::coll

@@ -1,0 +1,81 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scc {
+namespace {
+
+CliFlags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliFlags::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsForm) {
+  const auto flags = parse({"--n=42"});
+  EXPECT_EQ(flags.get_int("n", 0), 42);
+}
+
+TEST(Cli, SpaceForm) {
+  const auto flags = parse({"--n", "42"});
+  EXPECT_EQ(flags.get_int("n", 0), 42);
+}
+
+TEST(Cli, BareBooleanFlag) {
+  const auto flags = parse({"--verbose"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+}
+
+TEST(Cli, BooleanSpellings) {
+  EXPECT_TRUE(parse({"--x=yes"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=on"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"--x=0"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=no"}).get_bool("x", true));
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const auto flags = parse({});
+  EXPECT_EQ(flags.get("name", "dflt"), "dflt");
+  EXPECT_EQ(flags.get_int("n", -1), -1);
+  EXPECT_DOUBLE_EQ(flags.get_double("d", 2.5), 2.5);
+  EXPECT_FALSE(flags.has("anything"));
+}
+
+TEST(Cli, DoubleParsing) {
+  EXPECT_DOUBLE_EQ(parse({"--d=3.25"}).get_double("d", 0.0), 3.25);
+}
+
+TEST(Cli, MalformedIntegerThrows) {
+  const auto flags = parse({"--n=abc"});
+  EXPECT_THROW(static_cast<void>(flags.get_int("n", 0)), std::runtime_error);
+}
+
+TEST(Cli, MalformedBoolThrows) {
+  const auto flags = parse({"--b=maybe"});
+  EXPECT_THROW(static_cast<void>(flags.get_bool("b", false)),
+               std::runtime_error);
+}
+
+TEST(Cli, Positionals) {
+  const auto flags = parse({"pos1", "--n=1", "pos2"});
+  ASSERT_EQ(flags.positionals().size(), 2u);
+  EXPECT_EQ(flags.positionals()[0], "pos1");
+  EXPECT_EQ(flags.positionals()[1], "pos2");
+}
+
+TEST(Cli, DoubleDashStopsParsing) {
+  const auto flags = parse({"--n=1", "--", "--ignored=2"});
+  EXPECT_EQ(flags.get_int("n", 0), 1);
+  EXPECT_FALSE(flags.has("ignored"));
+}
+
+TEST(Cli, UnconsumedReportsTypos) {
+  const auto flags = parse({"--n=1", "--typo=2"});
+  EXPECT_EQ(flags.get_int("n", 0), 1);
+  const auto leftover = flags.unconsumed();
+  ASSERT_EQ(leftover.size(), 1u);
+  EXPECT_EQ(leftover[0], "typo");
+}
+
+}  // namespace
+}  // namespace scc

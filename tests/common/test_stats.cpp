@@ -1,0 +1,73 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scc {
+namespace {
+
+TEST(RunningStats, EmptyHasZeroCount) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-5.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats s;
+  const double offset = 1e12;
+  for (const double x : {offset + 1, offset + 2, offset + 3}) s.add(x);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(Median, OddCount) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Median, EvenCountAverages) {
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Median, SingleElement) { EXPECT_DOUBLE_EQ(median({7.0}), 7.0); }
+
+TEST(GeometricMean, Basic) {
+  EXPECT_NEAR(geometric_mean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(GeometricMean, MatchesArithmeticForConstant) {
+  EXPECT_NEAR(geometric_mean({5.5, 5.5, 5.5, 5.5}), 5.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace scc

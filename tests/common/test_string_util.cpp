@@ -1,0 +1,60 @@
+#include "common/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scc {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, EmptyStringIsOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Trim, StripsWhitespaceBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strprintf, FormatsLikePrintf) {
+  EXPECT_EQ(strprintf("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+TEST(Strprintf, LongOutput) {
+  const std::string s = strprintf("%0512d", 1);
+  EXPECT_EQ(s.size(), 512u);
+}
+
+TEST(FormatMinutes, Fig10Style) {
+  EXPECT_EQ(format_minutes(25 * 60 + 36.18), "25min 36.18s");
+  EXPECT_EQ(format_minutes(0.0), "0min 00.00s");
+  EXPECT_EQ(format_minutes(59.99), "0min 59.99s");
+  EXPECT_EQ(format_minutes(3600.0), "60min 00.00s");
+}
+
+TEST(FormatDuration, PicksSensibleUnit) {
+  EXPECT_EQ(format_duration_us(1.25), "1.2 us");
+  EXPECT_EQ(format_duration_us(1250.0), "1.25 ms");
+  EXPECT_EQ(format_duration_us(2500000.0), "2.500 s");
+}
+
+}  // namespace
+}  // namespace scc

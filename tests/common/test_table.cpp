@@ -1,0 +1,60 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace scc {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "precondition");
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"c"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "c\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, WriteCsvFileRejectsBadPath) {
+  Table t({"a"});
+  EXPECT_THROW(t.write_csv_file("/nonexistent-dir/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace scc

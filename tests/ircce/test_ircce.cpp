@@ -1,0 +1,232 @@
+#include "ircce/ircce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "machine/scc_machine.hpp"
+
+namespace scc::ircce {
+namespace {
+
+machine::SccConfig small_config() {
+  machine::SccConfig config;
+  config.tiles_x = 2;
+  config.tiles_y = 2;  // 8 cores
+  return config;
+}
+
+std::vector<std::byte> pattern(std::size_t n, int seed) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::byte>((i * 7 + static_cast<std::size_t>(seed)) & 0xFF);
+  return v;
+}
+
+sim::Task<> isend_wait(machine::CoreApi& api, const rcce::Layout* layout,
+                       const std::vector<std::byte>* data, int dest) {
+  rcce::Rcce rcce(api, *layout);
+  Ircce ircce(rcce);
+  const RequestId id = co_await ircce.isend(*data, dest);
+  co_await ircce.wait(id);
+  EXPECT_EQ(ircce.pending_requests(), 0u);
+}
+
+sim::Task<> irecv_wait(machine::CoreApi& api, const rcce::Layout* layout,
+                       std::vector<std::byte>* data, int src) {
+  rcce::Rcce rcce(api, *layout);
+  Ircce ircce(rcce);
+  const RequestId id = co_await ircce.irecv(*data, src);
+  co_await ircce.wait(id);
+}
+
+TEST(Ircce, BasicTransfer) {
+  machine::SccMachine machine(small_config());
+  const rcce::Layout layout(machine.num_cores());
+  const auto data = pattern(500, 3);
+  std::vector<std::byte> received(500);
+  machine.launch(0, isend_wait(machine.core(0), &layout, &data, 6));
+  machine.launch(6, irecv_wait(machine.core(6), &layout, &received, 0));
+  machine.run();
+  EXPECT_EQ(received, data);
+}
+
+TEST(Ircce, OversizedMessageChunks) {
+  machine::SccMachine machine(small_config());
+  const rcce::Layout layout(machine.num_cores());
+  const auto data = pattern(15000, 5);  // > one MPB chunk
+  std::vector<std::byte> received(15000);
+  machine.launch(0, isend_wait(machine.core(0), &layout, &data, 1));
+  machine.launch(1, irecv_wait(machine.core(1), &layout, &received, 0));
+  machine.run();
+  EXPECT_EQ(received, data);
+}
+
+sim::Task<> two_isends(machine::CoreApi& api, const rcce::Layout* layout,
+                       const std::vector<std::byte>* a,
+                       const std::vector<std::byte>* b, int dest) {
+  rcce::Rcce rcce(api, *layout);
+  Ircce ircce(rcce);
+  // Two outstanding sends to one destination: FIFO staging discipline.
+  const RequestId id_a = co_await ircce.isend(*a, dest);
+  const RequestId id_b = co_await ircce.isend(*b, dest);
+  const std::array<RequestId, 2> ids{id_a, id_b};
+  co_await ircce.wait_all(ids);
+}
+
+sim::Task<> two_irecvs(machine::CoreApi& api, const rcce::Layout* layout,
+                       std::vector<std::byte>* a, std::vector<std::byte>* b,
+                       int src) {
+  rcce::Rcce rcce(api, *layout);
+  Ircce ircce(rcce);
+  const RequestId id_a = co_await ircce.irecv(*a, src);
+  const RequestId id_b = co_await ircce.irecv(*b, src);
+  co_await ircce.wait(id_a);
+  co_await ircce.wait(id_b);
+}
+
+TEST(Ircce, MultipleOutstandingSendsArriveInOrder) {
+  machine::SccMachine machine(small_config());
+  const rcce::Layout layout(machine.num_cores());
+  const auto first = pattern(100, 1);
+  const auto second = pattern(100, 2);
+  std::vector<std::byte> r1(100), r2(100);
+  machine.launch(0, two_isends(machine.core(0), &layout, &first, &second, 2));
+  machine.launch(2, two_irecvs(machine.core(2), &layout, &r1, &r2, 0));
+  machine.run();
+  EXPECT_EQ(r1, first);
+  EXPECT_EQ(r2, second);
+}
+
+sim::Task<> wildcard_recv(machine::CoreApi& api, const rcce::Layout* layout,
+                          std::vector<std::byte>* data, int* source) {
+  rcce::Rcce rcce(api, *layout);
+  Ircce ircce(rcce);
+  const RequestId id = co_await ircce.irecv(*data, kAnySource);
+  co_await ircce.wait(id);
+  *source = ircce.source_of(id);
+}
+
+sim::Task<> delayed_send(machine::CoreApi& api, const rcce::Layout* layout,
+                         const std::vector<std::byte>* data, int dest,
+                         std::uint64_t delay_cycles) {
+  rcce::Rcce rcce(api, *layout);
+  Ircce ircce(rcce);
+  co_await api.compute(delay_cycles);
+  const RequestId id = co_await ircce.isend(*data, dest);
+  co_await ircce.wait(id);
+}
+
+TEST(Ircce, WildcardReceiveResolvesSource) {
+  machine::SccMachine machine(small_config());
+  const rcce::Layout layout(machine.num_cores());
+  const auto data = pattern(64, 8);
+  std::vector<std::byte> received(64);
+  int source = -2;
+  machine.launch(4, wildcard_recv(machine.core(4), &layout, &received, &source));
+  machine.launch(7, delayed_send(machine.core(7), &layout, &data, 4, 5000));
+  machine.run();
+  EXPECT_EQ(received, data);
+  EXPECT_EQ(source, 7);
+}
+
+sim::Task<> cancel_unstarted(machine::CoreApi& api,
+                             const rcce::Layout* layout, bool* cancelled) {
+  rcce::Rcce rcce(api, *layout);
+  Ircce ircce(rcce);
+  std::vector<std::byte> buf(32);
+  const RequestId id = co_await ircce.irecv(buf, 3);
+  *cancelled = co_await ircce.cancel(id);
+  EXPECT_EQ(ircce.pending_requests(), 0u);
+}
+
+TEST(Ircce, CancelPendingRecv) {
+  machine::SccMachine machine(small_config());
+  const rcce::Layout layout(machine.num_cores());
+  bool cancelled = false;
+  machine.launch(0, cancel_unstarted(machine.core(0), &layout, &cancelled));
+  machine.run();
+  EXPECT_TRUE(cancelled);
+}
+
+sim::Task<> cancel_staged_send(machine::CoreApi& api,
+                               const rcce::Layout* layout,
+                               const std::vector<std::byte>* data,
+                               bool* cancelled) {
+  rcce::Rcce rcce(api, *layout);
+  Ircce ircce(rcce);
+  const RequestId id = co_await ircce.isend(*data, 3);
+  // isend stages immediately (chunk free) -> already on the wire.
+  *cancelled = co_await ircce.cancel(id);
+  co_await ircce.wait(id);
+}
+
+sim::Task<> plain_recv(machine::CoreApi& api, const rcce::Layout* layout,
+                       std::vector<std::byte>* data, int src) {
+  rcce::Rcce rcce(api, *layout);
+  Ircce ircce(rcce);
+  const RequestId id = co_await ircce.irecv(*data, src);
+  co_await ircce.wait(id);
+}
+
+TEST(Ircce, CannotCancelStagedSend) {
+  machine::SccMachine machine(small_config());
+  const rcce::Layout layout(machine.num_cores());
+  const auto data = pattern(64, 4);
+  std::vector<std::byte> received(64);
+  bool cancelled = true;
+  machine.launch(0, cancel_staged_send(machine.core(0), &layout, &data,
+                                       &cancelled));
+  machine.launch(3, plain_recv(machine.core(3), &layout, &received, 0));
+  machine.run();
+  EXPECT_FALSE(cancelled);
+  EXPECT_EQ(received, data);
+}
+
+sim::Task<> test_until_done(machine::CoreApi& api, const rcce::Layout* layout,
+                            std::vector<std::byte>* data, int src,
+                            int* test_calls) {
+  rcce::Rcce rcce(api, *layout);
+  Ircce ircce(rcce);
+  const RequestId id = co_await ircce.irecv(*data, src);
+  *test_calls = 0;
+  while (!co_await ircce.test(id)) {
+    ++*test_calls;
+    co_await api.compute(500);
+  }
+}
+
+TEST(Ircce, TestPollsUntilCompletion) {
+  machine::SccMachine machine(small_config());
+  const rcce::Layout layout(machine.num_cores());
+  const auto data = pattern(64, 4);
+  std::vector<std::byte> received(64);
+  int test_calls = -1;
+  machine.launch(0, test_until_done(machine.core(0), &layout, &received, 5,
+                                    &test_calls));
+  machine.launch(5, delayed_send(machine.core(5), &layout, &data, 0, 50000));
+  machine.run();
+  EXPECT_EQ(received, data);
+  EXPECT_GT(test_calls, 0);  // the sender was delayed, so test() failed first
+}
+
+TEST(Ircce, TestOnUnknownIdIsTrue) {
+  machine::SccMachine machine(small_config());
+  const rcce::Layout layout(machine.num_cores());
+  bool result = false;
+  struct Probe {
+    static sim::Task<> run(machine::CoreApi& api, const rcce::Layout* l,
+                           bool* out) {
+      rcce::Rcce rcce(api, *l);
+      Ircce ircce(rcce);
+      *out = co_await ircce.test(RequestId{999});
+    }
+  };
+  machine.launch(0, Probe::run(machine.core(0), &layout, &result));
+  machine.run();
+  EXPECT_TRUE(result);
+}
+
+}  // namespace
+}  // namespace scc::ircce

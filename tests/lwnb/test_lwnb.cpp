@@ -1,0 +1,168 @@
+#include "lwnb/lwnb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "ircce/ircce.hpp"
+#include "machine/scc_machine.hpp"
+
+namespace scc::lwnb {
+namespace {
+
+machine::SccConfig small_config() {
+  machine::SccConfig config;
+  config.tiles_x = 2;
+  config.tiles_y = 2;
+  return config;
+}
+
+std::vector<std::byte> pattern(std::size_t n, int seed) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::byte>((i * 11 + static_cast<std::size_t>(seed)) & 0xFF);
+  return v;
+}
+
+sim::Task<> send_side(machine::CoreApi& api, const rcce::Layout* layout,
+                      const std::vector<std::byte>* data, int dest) {
+  rcce::Rcce rcce(api, *layout);
+  Lwnb lwnb(rcce);
+  EXPECT_FALSE(lwnb.send_pending());
+  co_await lwnb.isend(*data, dest);
+  EXPECT_TRUE(lwnb.send_pending());
+  co_await lwnb.wait_send();
+  EXPECT_FALSE(lwnb.send_pending());
+}
+
+sim::Task<> recv_side(machine::CoreApi& api, const rcce::Layout* layout,
+                      std::vector<std::byte>* data, int src) {
+  rcce::Rcce rcce(api, *layout);
+  Lwnb lwnb(rcce);
+  co_await lwnb.irecv(*data, src);
+  EXPECT_TRUE(lwnb.recv_pending());
+  co_await lwnb.wait_recv();
+  EXPECT_FALSE(lwnb.recv_pending());
+}
+
+TEST(Lwnb, BasicTransfer) {
+  machine::SccMachine machine(small_config());
+  const rcce::Layout layout(machine.num_cores());
+  const auto data = pattern(300, 2);
+  std::vector<std::byte> received(300);
+  machine.launch(0, send_side(machine.core(0), &layout, &data, 7));
+  machine.launch(7, recv_side(machine.core(7), &layout, &received, 0));
+  machine.run();
+  EXPECT_EQ(received, data);
+}
+
+TEST(Lwnb, OversizedMessageChunks) {
+  machine::SccMachine machine(small_config());
+  const rcce::Layout layout(machine.num_cores());
+  const auto data = pattern(14000, 6);
+  std::vector<std::byte> received(14000);
+  machine.launch(0, send_side(machine.core(0), &layout, &data, 1));
+  machine.launch(1, recv_side(machine.core(1), &layout, &received, 0));
+  machine.run();
+  EXPECT_EQ(received, data);
+}
+
+sim::Task<> ring_round(machine::CoreApi& api, const rcce::Layout* layout,
+                       const std::vector<std::byte>* sbuf,
+                       std::vector<std::byte>* rbuf) {
+  // isend + irecv + wait_both in ANY issue order: the whole point of the
+  // non-blocking primitives is that no odd-even discipline is needed.
+  rcce::Rcce rcce(api, *layout);
+  Lwnb lwnb(rcce);
+  const int p = rcce.num_cores();
+  co_await lwnb.isend(*sbuf, (rcce.rank() + 1) % p);
+  co_await lwnb.irecv(*rbuf, (rcce.rank() + p - 1) % p);
+  co_await lwnb.wait_both();
+}
+
+TEST(Lwnb, UnorderedRingDoesNotDeadlock) {
+  machine::SccMachine machine(small_config());
+  const int p = machine.num_cores();
+  const rcce::Layout layout(p);
+  std::vector<std::vector<std::byte>> in, out;
+  for (int r = 0; r < p; ++r) {
+    in.push_back(pattern(256, r));
+    out.emplace_back(256);
+  }
+  for (int r = 0; r < p; ++r)
+    machine.launch(r, ring_round(machine.core(r), &layout,
+                                 &in[static_cast<std::size_t>(r)],
+                                 &out[static_cast<std::size_t>(r)]));
+  machine.run();
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(out[static_cast<std::size_t>(r)],
+              in[static_cast<std::size_t>((r + p - 1) % p)]);
+  }
+}
+
+sim::Task<> double_isend(machine::CoreApi& api, const rcce::Layout* layout) {
+  rcce::Rcce rcce(api, *layout);
+  Lwnb lwnb(rcce);
+  std::vector<std::byte> buf(8);
+  co_await lwnb.isend(buf, 1);
+  co_await lwnb.isend(buf, 2);  // must die: single-slot engine
+}
+
+TEST(LwnbDeath, SecondOutstandingSendRejected) {
+  EXPECT_DEATH(
+      {
+        machine::SccMachine machine(small_config());
+        const rcce::Layout layout(machine.num_cores());
+        machine.launch(0, double_isend(machine.core(0), &layout));
+        machine.run();
+      },
+      "precondition");
+}
+
+sim::Task<> measure_round(machine::CoreApi& api, const rcce::Layout* layout,
+                          bool use_lwnb, const std::vector<std::byte>* sbuf,
+                          std::vector<std::byte>* rbuf, SimTime* sw_overhead) {
+  rcce::Rcce rcce(api, *layout);
+  const int p = rcce.num_cores();
+  const int right = (rcce.rank() + 1) % p;
+  const int left = (rcce.rank() + p - 1) % p;
+  if (use_lwnb) {
+    Lwnb lwnb(rcce);
+    co_await lwnb.isend(*sbuf, right);
+    co_await lwnb.irecv(*rbuf, left);
+    co_await lwnb.wait_both();
+  } else {
+    ircce::Ircce ircce(rcce);
+    const auto sid = co_await ircce.isend(*sbuf, right);
+    const auto rid = co_await ircce.irecv(*rbuf, left);
+    const std::array<ircce::RequestId, 2> ids{sid, rid};
+    co_await ircce.wait_all(ids);
+  }
+  *sw_overhead = api.profile().get(machine::Phase::kSwOverhead);
+}
+
+TEST(Lwnb, LessSoftwareOverheadThanIrcce) {
+  // Section IV-B's core claim, measured directly from the profiles.
+  SimTime lwnb_overhead, ircce_overhead;
+  for (const bool use_lwnb : {false, true}) {
+    machine::SccMachine machine(small_config());
+    const int p = machine.num_cores();
+    const rcce::Layout layout(p);
+    std::vector<std::vector<std::byte>> in(
+        static_cast<std::size_t>(p), pattern(96, 1)),
+        out(static_cast<std::size_t>(p), std::vector<std::byte>(96));
+    std::vector<SimTime> overheads(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r)
+      machine.launch(r, measure_round(machine.core(r), &layout, use_lwnb,
+                                      &in[static_cast<std::size_t>(r)],
+                                      &out[static_cast<std::size_t>(r)],
+                                      &overheads[static_cast<std::size_t>(r)]));
+    machine.run();
+    (use_lwnb ? lwnb_overhead : ircce_overhead) = overheads[0];
+  }
+  EXPECT_LT(lwnb_overhead * 2, ircce_overhead);
+}
+
+}  // namespace
+}  // namespace scc::lwnb

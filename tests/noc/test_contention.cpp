@@ -1,0 +1,102 @@
+#include "noc/contention.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+
+namespace scc::noc {
+namespace {
+
+TEST(Contention, FirstTransferIsNotDelayed) {
+  const Topology topo;
+  LinkContention model(topo, Clock{800e6}, 3);
+  EXPECT_EQ(model.occupy(0, 47, 100, SimTime::zero()), SimTime::zero());
+  EXPECT_EQ(model.delayed_transfers(), 0u);
+}
+
+TEST(Contention, SecondTransferOnSameLinkQueues) {
+  const Topology topo;
+  LinkContention model(topo, Clock{800e6}, 3);
+  model.occupy(0, 4, 100, SimTime::zero());  // occupies (0,0)->(1,0)...
+  const SimTime delay = model.occupy(0, 4, 100, SimTime::zero());
+  EXPECT_GT(delay, SimTime::zero());
+  EXPECT_EQ(model.delayed_transfers(), 1u);
+}
+
+TEST(Contention, DisjointRoutesDoNotInteract) {
+  const Topology topo;
+  LinkContention model(topo, Clock{800e6}, 3);
+  model.occupy(0, 2, 1000, SimTime::zero());   // row 0, eastbound
+  const SimTime delay = model.occupy(47, 45, 1000, SimTime::zero());  // row 3, westbound
+  EXPECT_EQ(delay, SimTime::zero());
+}
+
+TEST(Contention, OppositeDirectionsAreSeparateLinks) {
+  const Topology topo;
+  LinkContention model(topo, Clock{800e6}, 3);
+  model.occupy(0, 2, 1000, SimTime::zero());
+  EXPECT_EQ(model.occupy(2, 0, 1000, SimTime::zero()), SimTime::zero());
+}
+
+TEST(Contention, BusyLinksDrainOverTime) {
+  const Topology topo;
+  LinkContention model(topo, Clock{800e6}, 3);
+  model.occupy(0, 2, 8, SimTime::zero());  // 8 lines * 3 mesh cycles
+  const SimTime much_later = SimTime::from_us(1000.0);
+  EXPECT_EQ(model.occupy(0, 2, 8, much_later), SimTime::zero());
+}
+
+TEST(Contention, SameTileTransferNeverQueues) {
+  const Topology topo;
+  LinkContention model(topo, Clock{800e6}, 3);
+  model.occupy(0, 1, 1000, SimTime::zero());
+  EXPECT_EQ(model.occupy(0, 1, 1000, SimTime::zero()), SimTime::zero());
+}
+
+TEST(Contention, ResetClearsState) {
+  const Topology topo;
+  LinkContention model(topo, Clock{800e6}, 3);
+  model.occupy(0, 4, 100, SimTime::zero());
+  model.occupy(0, 4, 100, SimTime::zero());
+  model.reset();
+  EXPECT_EQ(model.total_delay(), SimTime::zero());
+  EXPECT_EQ(model.occupy(0, 4, 100, SimTime::zero()), SimTime::zero());
+}
+
+// --- integration with the full stack ------------------------------------
+
+double alltoall_us(bool contention) {
+  harness::RunSpec spec;
+  spec.collective = harness::Collective::kAlltoall;
+  spec.variant = harness::PaperVariant::kLightweight;
+  spec.elements = 64;
+  spec.repetitions = 2;
+  spec.warmup = 1;
+  spec.verify = false;
+  spec.config.tiles_x = 2;
+  spec.config.tiles_y = 2;
+  spec.config.cost.hw.model_link_contention = contention;
+  return harness::run_collective(spec).mean_latency.us();
+}
+
+TEST(Contention, AlltoallSlowerWithContentionModeled) {
+  EXPECT_GT(alltoall_us(true), alltoall_us(false));
+}
+
+TEST(Contention, DeterministicWhenEnabled) {
+  EXPECT_DOUBLE_EQ(alltoall_us(true), alltoall_us(true));
+}
+
+TEST(Contention, ResultsStillCorrectWithContention) {
+  harness::RunSpec spec;
+  spec.collective = harness::Collective::kAlltoall;
+  spec.variant = harness::PaperVariant::kLightweight;
+  spec.elements = 32;
+  spec.config.tiles_x = 2;
+  spec.config.tiles_y = 2;
+  spec.config.cost.hw.model_link_contention = true;
+  EXPECT_TRUE(harness::run_collective(spec).verified);
+}
+
+}  // namespace
+}  // namespace scc::noc

@@ -1,0 +1,228 @@
+#include "rckmpi/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "machine/scc_machine.hpp"
+
+namespace scc::rckmpi {
+namespace {
+
+struct Fixture {
+  explicit Fixture(int tx = 2, int ty = 2) {
+    machine::SccConfig config;
+    config.tiles_x = tx;
+    config.tiles_y = ty;
+    base_layout = std::make_unique<rcce::Layout>(config.num_cores());
+    layout = std::make_unique<ChannelLayout>(*base_layout);
+    config.flags_per_core = layout->flags_needed();
+    machine = std::make_unique<machine::SccMachine>(config);
+  }
+  std::unique_ptr<rcce::Layout> base_layout;
+  std::unique_ptr<ChannelLayout> layout;
+  std::unique_ptr<machine::SccMachine> machine;
+};
+
+std::vector<std::byte> pattern(std::size_t n, int seed) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::byte>((i * 5 + static_cast<std::size_t>(seed)) & 0xFF);
+  return v;
+}
+
+TEST(ChannelLayout, GeometrySane) {
+  const rcce::Layout base(48);
+  const ChannelLayout layout(base);
+  EXPECT_GE(layout.ring_lines(), 2u);
+  EXPECT_LE(layout.ring_lines(), 64u);
+  // 48 rings of ring_bytes each must fit in the payload.
+  EXPECT_LE(48u * layout.ring_bytes(), base.payload_bytes());
+  EXPECT_GT(layout.flags_needed(), base.flags_needed());
+}
+
+TEST(ChannelLayout, RingLinesWrapInPlace) {
+  const rcce::Layout base(8);
+  const ChannelLayout layout(base);
+  const auto a = layout.ring_line(0, 1, 0);
+  const auto b = layout.ring_line(0, 1, layout.ring_lines());
+  EXPECT_EQ(a.core, b.core);
+  EXPECT_EQ(a.offset, b.offset);  // wraps modulo ring size
+}
+
+sim::Task<> chan_send(machine::CoreApi& api, const ChannelLayout* layout,
+                      const std::vector<std::byte>* data, int dest, int tag) {
+  Channel channel(api, *layout);
+  co_await channel.send(*data, dest, tag);
+}
+
+sim::Task<> chan_recv(machine::CoreApi& api, const ChannelLayout* layout,
+                      std::vector<std::byte>* data, int src, int tag) {
+  Channel channel(api, *layout);
+  co_await channel.recv(*data, src, tag);
+}
+
+class ChannelSize : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChannelSize, TransfersIntact) {
+  Fixture f;
+  const auto data = pattern(GetParam(), 7);
+  std::vector<std::byte> received(GetParam());
+  f.machine->launch(0, chan_send(f.machine->core(0), f.layout.get(), &data, 5, 42));
+  f.machine->launch(5, chan_recv(f.machine->core(5), f.layout.get(), &received, 0, 42));
+  f.machine->run();
+  EXPECT_EQ(received, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ChannelSize,
+    // Zero bytes, sub-line, exact lines, many times the ring capacity.
+    ::testing::Values(0, 1, 31, 32, 33, 100, 1000, 5600, 50000),
+    [](const auto& param_info) { return "bytes_" + std::to_string(param_info.param); });
+
+TEST(Channel, WildcardTagAccepted) {
+  Fixture f;
+  const auto data = pattern(64, 1);
+  std::vector<std::byte> received(64);
+  f.machine->launch(0, chan_send(f.machine->core(0), f.layout.get(), &data, 1, 9));
+  f.machine->launch(1, chan_recv(f.machine->core(1), f.layout.get(), &received,
+                                 0, kAnyTag));
+  f.machine->run();
+  EXPECT_EQ(received, data);
+}
+
+TEST(ChannelDeath, TagMismatchDetected) {
+  EXPECT_DEATH(
+      {
+        Fixture f;
+        const auto data = pattern(64, 1);
+        std::vector<std::byte> received(64);
+        f.machine->launch(0, chan_send(f.machine->core(0), f.layout.get(),
+                                       &data, 1, 9));
+        f.machine->launch(1, chan_recv(f.machine->core(1), f.layout.get(),
+                                       &received, 0, 10));
+        f.machine->run();
+      },
+      "precondition");
+}
+
+sim::Task<> back_to_back_sends(machine::CoreApi& api,
+                               const ChannelLayout* layout,
+                               const std::vector<std::byte>* a,
+                               const std::vector<std::byte>* b, int dest) {
+  Channel channel(api, *layout);
+  co_await channel.send(*a, dest, 1);
+  co_await channel.send(*b, dest, 2);
+}
+
+sim::Task<> back_to_back_recvs(machine::CoreApi& api,
+                               const ChannelLayout* layout,
+                               std::vector<std::byte>* a,
+                               std::vector<std::byte>* b, int src) {
+  Channel channel(api, *layout);
+  co_await channel.recv(*a, src, 1);
+  co_await channel.recv(*b, src, 2);
+}
+
+TEST(Channel, MessagesOrderedPerPair) {
+  Fixture f;
+  const auto first = pattern(700, 1);
+  const auto second = pattern(300, 2);
+  std::vector<std::byte> r1(700), r2(300);
+  f.machine->launch(0, back_to_back_sends(f.machine->core(0), f.layout.get(),
+                                          &first, &second, 3));
+  f.machine->launch(3, back_to_back_recvs(f.machine->core(3), f.layout.get(),
+                                          &r1, &r2, 0));
+  f.machine->run();
+  EXPECT_EQ(r1, first);
+  EXPECT_EQ(r2, second);
+}
+
+sim::Task<> duplex_side(machine::CoreApi& api, const ChannelLayout* layout,
+                        const std::vector<std::byte>* sdata,
+                        std::vector<std::byte>* rdata, int peer) {
+  Channel channel(api, *layout);
+  co_await channel.sendrecv(*sdata, peer, *rdata, peer, 5);
+}
+
+TEST(Channel, DuplexSendrecvBothDirections) {
+  Fixture f;
+  const auto a = pattern(4000, 1);
+  const auto b = pattern(4000, 2);
+  std::vector<std::byte> ra(4000), rb(4000);
+  f.machine->launch(0, duplex_side(f.machine->core(0), f.layout.get(), &a, &rb, 6));
+  f.machine->launch(6, duplex_side(f.machine->core(6), f.layout.get(), &b, &ra, 0));
+  f.machine->run();
+  EXPECT_EQ(rb, b);
+  EXPECT_EQ(ra, a);
+}
+
+TEST(Channel, DuplexFasterThanTwoBlockingTransfers) {
+  // The progress loop overlaps the per-packet round trips of the two
+  // directions; serial send-then-recv cannot.
+  const auto run_duplex = [] {
+    Fixture f;
+    static std::vector<std::byte> a, b;
+    static std::vector<std::byte> ra, rb;
+    a = pattern(4000, 1);
+    b = pattern(4000, 2);
+    ra.assign(4000, std::byte{});
+    rb.assign(4000, std::byte{});
+    f.machine->launch(0, duplex_side(f.machine->core(0), f.layout.get(), &a, &rb, 1));
+    f.machine->launch(1, duplex_side(f.machine->core(1), f.layout.get(), &b, &ra, 0));
+    f.machine->run();
+    return f.machine->engine().now();
+  };
+  const auto run_serial = [] {
+    Fixture f;
+    static std::vector<std::byte> a, b;
+    static std::vector<std::byte> ra, rb;
+    a = pattern(4000, 1);
+    b = pattern(4000, 2);
+    ra.assign(4000, std::byte{});
+    rb.assign(4000, std::byte{});
+    struct P {
+      static sim::Task<> lo(machine::CoreApi& api, const ChannelLayout* l) {
+        Channel c(api, *l);
+        co_await c.send(a, 1, 5);
+        co_await c.recv(ra, 1, 5);
+      }
+      static sim::Task<> hi(machine::CoreApi& api, const ChannelLayout* l) {
+        Channel c(api, *l);
+        co_await c.recv(rb, 0, 5);
+        co_await c.send(b, 0, 5);
+      }
+    };
+    f.machine->launch(0, P::lo(f.machine->core(0), f.layout.get()));
+    f.machine->launch(1, P::hi(f.machine->core(1), f.layout.get()));
+    f.machine->run();
+    return f.machine->engine().now();
+  };
+  EXPECT_LT(run_duplex(), run_serial());
+}
+
+TEST(Channel, IncomingProbe) {
+  Fixture f;
+  struct P {
+    static sim::Task<> probe(machine::CoreApi& api, const ChannelLayout* l,
+                             bool* before, bool* after) {
+      Channel channel(api, *l);
+      *before = channel.incoming(1);
+      co_await api.compute(1000000);  // let the sender run
+      *after = channel.incoming(1);
+      std::vector<std::byte> sink(16);
+      co_await channel.recv(sink, 1, 3);
+    }
+  };
+  const auto data = pattern(16, 4);
+  bool before = true, after = false;
+  f.machine->launch(0, P::probe(f.machine->core(0), f.layout.get(), &before,
+                                &after));
+  f.machine->launch(1, chan_send(f.machine->core(1), f.layout.get(), &data, 0, 3));
+  f.machine->run();
+  EXPECT_FALSE(before);
+  EXPECT_TRUE(after);
+}
+
+}  // namespace
+}  // namespace scc::rckmpi

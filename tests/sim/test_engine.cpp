@@ -1,0 +1,169 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/wait_queue.hpp"
+
+namespace scc::sim {
+namespace {
+
+Task<> sleep_then_record(Engine* engine, SimTime delay, int id,
+                         std::vector<int>* order) {
+  co_await engine->sleep_for(delay);
+  order->push_back(id);
+}
+
+Task<> record_at_times(Engine* engine, std::vector<std::uint64_t>* log) {
+  co_await engine->sleep_for(SimTime{100});
+  log->push_back(engine->now().femtoseconds());
+  co_await engine->sleep_for(SimTime{50});
+  log->push_back(engine->now().femtoseconds());
+}
+
+TEST(Engine, TimeStartsAtZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), SimTime::zero());
+}
+
+TEST(Engine, SleepAdvancesVirtualTime) {
+  Engine engine;
+  std::vector<std::uint64_t> log;
+  engine.spawn(record_at_times(&engine, &log), "t");
+  engine.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], 100u);
+  EXPECT_EQ(log[1], 150u);
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.spawn(sleep_then_record(&engine, SimTime{300}, 3, &order), "a");
+  engine.spawn(sleep_then_record(&engine, SimTime{100}, 1, &order), "b");
+  engine.spawn(sleep_then_record(&engine, SimTime{200}, 2, &order), "c");
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, EqualTimesFireInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.spawn(sleep_then_record(&engine, SimTime{100}, i, &order),
+                 "same-time");
+  }
+  engine.run();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, ZeroDelaySleepStillYields) {
+  Engine engine;
+  std::vector<int> order;
+  engine.spawn(sleep_then_record(&engine, SimTime::zero(), 1, &order), "a");
+  engine.spawn(sleep_then_record(&engine, SimTime::zero(), 2, &order), "b");
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, ScheduleCallRunsFunctions) {
+  Engine engine;
+  bool called = false;
+  engine.schedule_call(SimTime{10}, [&] { called = true; });
+  engine.run();
+  EXPECT_TRUE(called);
+  EXPECT_EQ(engine.now(), SimTime{10});
+}
+
+TEST(Engine, EventsProcessedCounter) {
+  Engine engine;
+  engine.schedule_call(SimTime{1}, [] {});
+  engine.schedule_call(SimTime{2}, [] {});
+  engine.run();
+  EXPECT_EQ(engine.events_processed(), 2u);
+}
+
+Task<> waits_forever(WaitQueue* queue) { co_await queue->wait(); }
+
+TEST(Engine, DeadlockDetectedAndNamed) {
+  Engine engine;
+  WaitQueue queue(engine);
+  engine.spawn(waits_forever(&queue), "stuck-core");
+  try {
+    engine.run();
+    FAIL() << "expected deadlock";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("stuck-core"), std::string::npos);
+  }
+}
+
+TEST(Engine, RunDetectDeadlockReturnsFalse) {
+  Engine engine;
+  WaitQueue queue(engine);
+  engine.spawn(waits_forever(&queue), "stuck");
+  EXPECT_FALSE(engine.run_detect_deadlock());
+}
+
+TEST(Engine, RunDetectDeadlockTrueWhenClean) {
+  Engine engine;
+  std::vector<int> order;
+  engine.spawn(sleep_then_record(&engine, SimTime{5}, 1, &order), "ok");
+  EXPECT_TRUE(engine.run_detect_deadlock());
+}
+
+Task<> notify_after(Engine* engine, WaitQueue* queue, SimTime when) {
+  co_await engine->sleep_for(when);
+  queue->notify_all();
+}
+
+Task<> wait_and_stamp(Engine* engine, WaitQueue* queue,
+                      std::uint64_t* stamp) {
+  co_await queue->wait();
+  *stamp = engine->now().femtoseconds();
+}
+
+TEST(WaitQueue, NotifyWakesAllWaitersAtNotifierTime) {
+  Engine engine;
+  WaitQueue queue(engine);
+  std::uint64_t stamp1 = 0, stamp2 = 0;
+  engine.spawn(wait_and_stamp(&engine, &queue, &stamp1), "w1");
+  engine.spawn(wait_and_stamp(&engine, &queue, &stamp2), "w2");
+  engine.spawn(notify_after(&engine, &queue, SimTime{500}), "n");
+  engine.run();
+  EXPECT_EQ(stamp1, 500u);
+  EXPECT_EQ(stamp2, 500u);
+}
+
+TEST(WaitQueue, WaiterCountTracksParkedTasks) {
+  Engine engine;
+  WaitQueue queue(engine);
+  engine.spawn(waits_forever(&queue), "w");
+  engine.schedule_call(SimTime{1}, [&] {
+    EXPECT_EQ(queue.waiter_count(), 1u);
+    queue.notify_all();
+    EXPECT_EQ(queue.waiter_count(), 0u);
+  });
+  engine.run();
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    Engine engine;
+    std::vector<int> order;
+    for (int i = 0; i < 20; ++i) {
+      engine.spawn(
+          sleep_then_record(&engine, SimTime{static_cast<std::uint64_t>(
+                                         (i * 37) % 7)},
+                            i, &order),
+          "t");
+    }
+    engine.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace scc::sim
