@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mpb_bug.dir/abl_mpb_bug.cc.o"
+  "CMakeFiles/abl_mpb_bug.dir/abl_mpb_bug.cc.o.d"
+  "abl_mpb_bug"
+  "abl_mpb_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mpb_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_mpb_bug.
+# This may be replaced when dependencies are built.

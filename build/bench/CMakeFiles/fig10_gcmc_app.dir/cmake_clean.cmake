@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_gcmc_app.dir/fig10_gcmc_app.cc.o"
+  "CMakeFiles/fig10_gcmc_app.dir/fig10_gcmc_app.cc.o.d"
+  "fig10_gcmc_app"
+  "fig10_gcmc_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_gcmc_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

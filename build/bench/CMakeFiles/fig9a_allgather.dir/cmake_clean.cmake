@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_allgather.dir/fig9a_allgather.cc.o"
+  "CMakeFiles/fig9a_allgather.dir/fig9a_allgather.cc.o.d"
+  "fig9a_allgather"
+  "fig9a_allgather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_allgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

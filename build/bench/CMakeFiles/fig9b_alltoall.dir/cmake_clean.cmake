@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_alltoall.dir/fig9b_alltoall.cc.o"
+  "CMakeFiles/fig9b_alltoall.dir/fig9b_alltoall.cc.o.d"
+  "fig9b_alltoall"
+  "fig9b_alltoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

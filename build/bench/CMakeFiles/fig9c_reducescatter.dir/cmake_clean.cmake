@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9c_reducescatter.dir/fig9c_reducescatter.cc.o"
+  "CMakeFiles/fig9c_reducescatter.dir/fig9c_reducescatter.cc.o.d"
+  "fig9c_reducescatter"
+  "fig9c_reducescatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9c_reducescatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9d_broadcast.dir/fig9d_broadcast.cc.o"
+  "CMakeFiles/fig9d_broadcast.dir/fig9d_broadcast.cc.o.d"
+  "fig9d_broadcast"
+  "fig9d_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9d_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

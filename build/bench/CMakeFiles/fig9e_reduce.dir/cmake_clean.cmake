@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9e_reduce.dir/fig9e_reduce.cc.o"
+  "CMakeFiles/fig9e_reduce.dir/fig9e_reduce.cc.o.d"
+  "fig9e_reduce"
+  "fig9e_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9e_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

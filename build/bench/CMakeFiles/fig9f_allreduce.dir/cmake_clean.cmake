@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9f_allreduce.dir/fig9f_allreduce.cc.o"
+  "CMakeFiles/fig9f_allreduce.dir/fig9f_allreduce.cc.o.d"
+  "fig9f_allreduce"
+  "fig9f_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9f_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_block_split.dir/tab_block_split.cc.o"
+  "CMakeFiles/tab_block_split.dir/tab_block_split.cc.o.d"
+  "tab_block_split"
+  "tab_block_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_block_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_speedups.dir/tab_speedups.cc.o"
+  "CMakeFiles/tab_speedups.dir/tab_speedups.cc.o.d"
+  "tab_speedups"
+  "tab_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

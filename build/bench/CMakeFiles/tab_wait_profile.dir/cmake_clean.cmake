@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_wait_profile.dir/tab_wait_profile.cc.o"
+  "CMakeFiles/tab_wait_profile.dir/tab_wait_profile.cc.o.d"
+  "tab_wait_profile"
+  "tab_wait_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_wait_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_playground.dir/collective_playground.cpp.o"
+  "CMakeFiles/collective_playground.dir/collective_playground.cpp.o.d"
+  "collective_playground"
+  "collective_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcmc_demo.dir/gcmc_demo.cpp.o"
+  "CMakeFiles/gcmc_demo.dir/gcmc_demo.cpp.o.d"
+  "gcmc_demo"
+  "gcmc_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcmc_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

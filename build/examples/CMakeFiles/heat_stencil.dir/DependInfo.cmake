@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/heat_stencil.cpp" "examples/CMakeFiles/heat_stencil.dir/heat_stencil.cpp.o" "gcc" "examples/CMakeFiles/heat_stencil.dir/heat_stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gcmc/CMakeFiles/scc_gcmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/scc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/rckmpi/CMakeFiles/scc_rckmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/scc_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/ircce/CMakeFiles/scc_ircce.dir/DependInfo.cmake"
+  "/root/repo/build/src/lwnb/CMakeFiles/scc_lwnb.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcce/CMakeFiles/scc_rcce.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/scc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/scc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/scc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

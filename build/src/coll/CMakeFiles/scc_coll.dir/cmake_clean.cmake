@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_coll.dir/block_split.cpp.o"
+  "CMakeFiles/scc_coll.dir/block_split.cpp.o.d"
+  "CMakeFiles/scc_coll.dir/collectives.cpp.o"
+  "CMakeFiles/scc_coll.dir/collectives.cpp.o.d"
+  "CMakeFiles/scc_coll.dir/mpb_allreduce.cpp.o"
+  "CMakeFiles/scc_coll.dir/mpb_allreduce.cpp.o.d"
+  "CMakeFiles/scc_coll.dir/stack.cpp.o"
+  "CMakeFiles/scc_coll.dir/stack.cpp.o.d"
+  "libscc_coll.a"
+  "libscc_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_common.dir/cli.cpp.o"
+  "CMakeFiles/scc_common.dir/cli.cpp.o.d"
+  "CMakeFiles/scc_common.dir/rng.cpp.o"
+  "CMakeFiles/scc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/scc_common.dir/stats.cpp.o"
+  "CMakeFiles/scc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/scc_common.dir/string_util.cpp.o"
+  "CMakeFiles/scc_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/scc_common.dir/table.cpp.o"
+  "CMakeFiles/scc_common.dir/table.cpp.o.d"
+  "libscc_common.a"
+  "libscc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscc_common.a"
+)

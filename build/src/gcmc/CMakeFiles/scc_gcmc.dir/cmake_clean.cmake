@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_gcmc.dir/app.cpp.o"
+  "CMakeFiles/scc_gcmc.dir/app.cpp.o.d"
+  "CMakeFiles/scc_gcmc.dir/system.cpp.o"
+  "CMakeFiles/scc_gcmc.dir/system.cpp.o.d"
+  "libscc_gcmc.a"
+  "libscc_gcmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_gcmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

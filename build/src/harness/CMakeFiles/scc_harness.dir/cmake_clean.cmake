@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_harness.dir/runner.cpp.o"
+  "CMakeFiles/scc_harness.dir/runner.cpp.o.d"
+  "CMakeFiles/scc_harness.dir/sweep.cpp.o"
+  "CMakeFiles/scc_harness.dir/sweep.cpp.o.d"
+  "libscc_harness.a"
+  "libscc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

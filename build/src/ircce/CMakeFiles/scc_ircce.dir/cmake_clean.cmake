@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_ircce.dir/ircce.cpp.o"
+  "CMakeFiles/scc_ircce.dir/ircce.cpp.o.d"
+  "libscc_ircce.a"
+  "libscc_ircce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_ircce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

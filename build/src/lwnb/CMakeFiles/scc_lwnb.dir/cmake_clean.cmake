@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_lwnb.dir/lwnb.cpp.o"
+  "CMakeFiles/scc_lwnb.dir/lwnb.cpp.o.d"
+  "libscc_lwnb.a"
+  "libscc_lwnb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_lwnb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/core_api.cpp" "src/machine/CMakeFiles/scc_machine.dir/core_api.cpp.o" "gcc" "src/machine/CMakeFiles/scc_machine.dir/core_api.cpp.o.d"
+  "/root/repo/src/machine/flags.cpp" "src/machine/CMakeFiles/scc_machine.dir/flags.cpp.o" "gcc" "src/machine/CMakeFiles/scc_machine.dir/flags.cpp.o.d"
+  "/root/repo/src/machine/scc_machine.cpp" "src/machine/CMakeFiles/scc_machine.dir/scc_machine.cpp.o" "gcc" "src/machine/CMakeFiles/scc_machine.dir/scc_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/scc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/scc_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_machine.dir/core_api.cpp.o"
+  "CMakeFiles/scc_machine.dir/core_api.cpp.o.d"
+  "CMakeFiles/scc_machine.dir/flags.cpp.o"
+  "CMakeFiles/scc_machine.dir/flags.cpp.o.d"
+  "CMakeFiles/scc_machine.dir/scc_machine.cpp.o"
+  "CMakeFiles/scc_machine.dir/scc_machine.cpp.o.d"
+  "libscc_machine.a"
+  "libscc_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

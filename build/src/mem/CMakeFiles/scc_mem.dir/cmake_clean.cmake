@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_mem.dir/cache.cpp.o"
+  "CMakeFiles/scc_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/scc_mem.dir/latency.cpp.o"
+  "CMakeFiles/scc_mem.dir/latency.cpp.o.d"
+  "CMakeFiles/scc_mem.dir/mpb.cpp.o"
+  "CMakeFiles/scc_mem.dir/mpb.cpp.o.d"
+  "libscc_mem.a"
+  "libscc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

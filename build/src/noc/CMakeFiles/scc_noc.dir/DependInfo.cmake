@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/contention.cpp" "src/noc/CMakeFiles/scc_noc.dir/contention.cpp.o" "gcc" "src/noc/CMakeFiles/scc_noc.dir/contention.cpp.o.d"
+  "/root/repo/src/noc/topology.cpp" "src/noc/CMakeFiles/scc_noc.dir/topology.cpp.o" "gcc" "src/noc/CMakeFiles/scc_noc.dir/topology.cpp.o.d"
+  "/root/repo/src/noc/traffic.cpp" "src/noc/CMakeFiles/scc_noc.dir/traffic.cpp.o" "gcc" "src/noc/CMakeFiles/scc_noc.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_noc.dir/contention.cpp.o"
+  "CMakeFiles/scc_noc.dir/contention.cpp.o.d"
+  "CMakeFiles/scc_noc.dir/topology.cpp.o"
+  "CMakeFiles/scc_noc.dir/topology.cpp.o.d"
+  "CMakeFiles/scc_noc.dir/traffic.cpp.o"
+  "CMakeFiles/scc_noc.dir/traffic.cpp.o.d"
+  "libscc_noc.a"
+  "libscc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rcce/protocol.cpp" "src/rcce/CMakeFiles/scc_rcce.dir/protocol.cpp.o" "gcc" "src/rcce/CMakeFiles/scc_rcce.dir/protocol.cpp.o.d"
+  "/root/repo/src/rcce/rcce.cpp" "src/rcce/CMakeFiles/scc_rcce.dir/rcce.cpp.o" "gcc" "src/rcce/CMakeFiles/scc_rcce.dir/rcce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/scc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/scc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/scc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_rcce.dir/protocol.cpp.o"
+  "CMakeFiles/scc_rcce.dir/protocol.cpp.o.d"
+  "CMakeFiles/scc_rcce.dir/rcce.cpp.o"
+  "CMakeFiles/scc_rcce.dir/rcce.cpp.o.d"
+  "libscc_rcce.a"
+  "libscc_rcce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_rcce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_rckmpi.dir/channel.cpp.o"
+  "CMakeFiles/scc_rckmpi.dir/channel.cpp.o.d"
+  "CMakeFiles/scc_rckmpi.dir/mpi.cpp.o"
+  "CMakeFiles/scc_rckmpi.dir/mpi.cpp.o.d"
+  "libscc_rckmpi.a"
+  "libscc_rckmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_rckmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_split.dir/coll/test_block_split.cpp.o"
+  "CMakeFiles/test_block_split.dir/coll/test_block_split.cpp.o.d"
+  "test_block_split"
+  "test_block_split.pdb"
+  "test_block_split[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_api.dir/machine/test_core_api.cpp.o"
+  "CMakeFiles/test_core_api.dir/machine/test_core_api.cpp.o.d"
+  "test_core_api"
+  "test_core_api.pdb"
+  "test_core_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_collectives.dir/integration/test_fuzz_collectives.cpp.o"
+  "CMakeFiles/test_fuzz_collectives.dir/integration/test_fuzz_collectives.cpp.o.d"
+  "test_fuzz_collectives"
+  "test_fuzz_collectives.pdb"
+  "test_fuzz_collectives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

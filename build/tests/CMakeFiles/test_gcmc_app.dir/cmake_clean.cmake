@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gcmc_app.dir/gcmc/test_gcmc_app.cpp.o"
+  "CMakeFiles/test_gcmc_app.dir/gcmc/test_gcmc_app.cpp.o.d"
+  "test_gcmc_app"
+  "test_gcmc_app.pdb"
+  "test_gcmc_app[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gcmc_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

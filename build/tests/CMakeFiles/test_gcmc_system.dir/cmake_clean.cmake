@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gcmc_system.dir/gcmc/test_gcmc_system.cpp.o"
+  "CMakeFiles/test_gcmc_system.dir/gcmc/test_gcmc_system.cpp.o.d"
+  "test_gcmc_system"
+  "test_gcmc_system.pdb"
+  "test_gcmc_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gcmc_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

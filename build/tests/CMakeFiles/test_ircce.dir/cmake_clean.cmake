@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ircce.dir/ircce/test_ircce.cpp.o"
+  "CMakeFiles/test_ircce.dir/ircce/test_ircce.cpp.o.d"
+  "test_ircce"
+  "test_ircce.pdb"
+  "test_ircce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ircce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_latency_properties.dir/coll/test_latency_properties.cpp.o"
+  "CMakeFiles/test_latency_properties.dir/coll/test_latency_properties.cpp.o.d"
+  "test_latency_properties"
+  "test_latency_properties.pdb"
+  "test_latency_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_latency_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lwnb.dir/lwnb/test_lwnb.cpp.o"
+  "CMakeFiles/test_lwnb.dir/lwnb/test_lwnb.cpp.o.d"
+  "test_lwnb"
+  "test_lwnb.pdb"
+  "test_lwnb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lwnb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpb.dir/mem/test_mpb.cpp.o"
+  "CMakeFiles/test_mpb.dir/mem/test_mpb.cpp.o.d"
+  "test_mpb"
+  "test_mpb.pdb"
+  "test_mpb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

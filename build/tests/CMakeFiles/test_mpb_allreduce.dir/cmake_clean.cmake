@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpb_allreduce.dir/coll/test_mpb_allreduce.cpp.o"
+  "CMakeFiles/test_mpb_allreduce.dir/coll/test_mpb_allreduce.cpp.o.d"
+  "test_mpb_allreduce"
+  "test_mpb_allreduce.pdb"
+  "test_mpb_allreduce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpb_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rcce.dir/rcce/test_rcce.cpp.o"
+  "CMakeFiles/test_rcce.dir/rcce/test_rcce.cpp.o.d"
+  "test_rcce"
+  "test_rcce.pdb"
+  "test_rcce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rcce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scatter_gather.dir/coll/test_scatter_gather.cpp.o"
+  "CMakeFiles/test_scatter_gather.dir/coll/test_scatter_gather.cpp.o.d"
+  "test_scatter_gather"
+  "test_scatter_gather.pdb"
+  "test_scatter_gather[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scatter_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

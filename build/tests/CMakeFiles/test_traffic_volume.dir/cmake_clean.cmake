@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic_volume.dir/coll/test_traffic_volume.cpp.o"
+  "CMakeFiles/test_traffic_volume.dir/coll/test_traffic_volume.cpp.o.d"
+  "test_traffic_volume"
+  "test_traffic_volume.pdb"
+  "test_traffic_volume[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
