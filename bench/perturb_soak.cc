@@ -1,0 +1,137 @@
+// Standalone schedule-perturbation soak driver.
+//
+// Runs the differential conformance checker (harness/conformance.hpp) over
+// randomly sampled (collective, size, mesh, split, delay) configurations
+// for as many rounds as asked -- hours if desired -- outside of ctest. Any
+// failure prints a replay line with the (engine seed, perturbation seed)
+// pair and the process exits nonzero, so this can anchor a soak CI job.
+//
+//   perturb_soak --rounds=200 --seeds=32 --master-seed=1
+//   perturb_soak --collective=allreduce --delay-fs=2000000 --verbose
+//
+// Every round is fully determined by (--master-seed, round index): a failed
+// round can be reproduced alone via --rounds=1 --master-seed=<reported>.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <iterator>
+#include <optional>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "harness/conformance.hpp"
+
+namespace {
+
+using scc::harness::Collective;
+
+constexpr Collective kCollectives[] = {
+    Collective::kAllgather,     Collective::kAlltoall,
+    Collective::kReduceScatter, Collective::kBroadcast,
+    Collective::kReduce,        Collective::kAllreduce,
+    Collective::kScatter,       Collective::kGather,
+    Collective::kAllgatherv};
+
+struct MeshShape {
+  int x, y;
+};
+constexpr MeshShape kMeshes[] = {{1, 1}, {2, 1}, {3, 1}, {2, 2}, {3, 2}};
+
+std::optional<Collective> parse_collective(const std::string& name) {
+  for (const Collective c : kCollectives) {
+    if (name == scc::harness::collective_name(c)) return c;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto flags = scc::CliFlags::parse(argc, argv);
+    const auto rounds = flags.get_int("rounds", 20);
+    const auto seeds_per_config = flags.get_int("seeds", 16);
+    const auto master_seed =
+        static_cast<std::uint64_t>(flags.get_int("master-seed", 1));
+    const auto fixed_delay_fs = flags.get_int("delay-fs", -1);
+    const auto max_elements = flags.get_int("max-elements", 200);
+    const std::string collective_flag = flags.get("collective", "all");
+    const bool verbose = flags.get_bool("verbose", false);
+    for (const std::string& name : flags.unconsumed()) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+      return 2;
+    }
+    if (seeds_per_config < 1) {
+      std::fprintf(stderr, "--seeds must be >= 1\n");
+      return 2;
+    }
+    if (max_elements < 1) {
+      std::fprintf(stderr, "--max-elements must be >= 1\n");
+      return 2;
+    }
+    // 1 simulated second; any useful jitter is a handful of ~1.9e6 fs core
+    // cycles, and unbounded values would overflow SimTime arithmetic.
+    constexpr long kMaxDelayFs = 1'000'000'000'000'000;
+    if (fixed_delay_fs > kMaxDelayFs) {
+      std::fprintf(stderr, "--delay-fs must be <= %ld\n", kMaxDelayFs);
+      return 2;
+    }
+    std::optional<Collective> fixed_collective;
+    if (collective_flag != "all") {
+      fixed_collective = parse_collective(collective_flag);
+      if (!fixed_collective) {
+        std::fprintf(stderr, "unknown collective '%s'\n",
+                     collective_flag.c_str());
+        return 2;
+      }
+    }
+
+    long total_runs = 0;
+    long failed_rounds = 0;
+    for (long round = 0; round < rounds; ++round) {
+      // One RNG per round: a failing round replays from (master_seed+round)
+      // alone, independent of how many rounds preceded it.
+      scc::Xoshiro256 rng(master_seed + static_cast<std::uint64_t>(round));
+      scc::harness::ConformanceSpec spec;
+      spec.collective = fixed_collective
+                            ? *fixed_collective
+                            : kCollectives[rng.below(std::size(kCollectives))];
+      const MeshShape mesh = kMeshes[rng.below(std::size(kMeshes))];
+      spec.tiles_x = mesh.x;
+      spec.tiles_y = mesh.y;
+      spec.elements = 1 + rng.below(static_cast<std::uint64_t>(max_elements));
+      spec.split = rng.below(2) == 0 ? scc::coll::SplitPolicy::kStandard
+                                     : scc::coll::SplitPolicy::kBalanced;
+      spec.engine_seed = rng();
+      spec.perturb_seed_base = rng();
+      spec.perturb_seeds = static_cast<int>(seeds_per_config);
+      // A third of the rounds inject event delays up to ~10 core cycles
+      // (1 core cycle = 1,876,173 fs) unless a fixed jitter was requested.
+      spec.max_delay_fs =
+          fixed_delay_fs >= 0
+              ? static_cast<std::uint64_t>(fixed_delay_fs)
+              : (rng.below(3) == 0 ? 1'876'173ULL * (1 + rng.below(10)) : 0);
+      spec.model_contention = rng.below(3) == 0;
+
+      const scc::harness::ConformanceReport report =
+          scc::harness::run_conformance(spec);
+      total_runs += report.runs;
+      if (!report.passed()) {
+        ++failed_rounds;
+        std::fprintf(stderr, "round %ld (master-seed %llu): %s\n", round,
+                     static_cast<unsigned long long>(
+                         master_seed + static_cast<std::uint64_t>(round)),
+                     report.summary().c_str());
+      } else if (verbose) {
+        std::printf("round %ld: %s\n", round, report.summary().c_str());
+      }
+    }
+    std::printf("perturb_soak: %ld rounds, %ld simulations, %ld failed\n",
+                rounds, total_runs, failed_rounds);
+    return failed_rounds == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perturb_soak: %s\n", e.what());
+    return 2;
+  }
+}

@@ -25,6 +25,12 @@ enum class Prims {
   kLightweight,  // the paper's single-slot non-blocking primitives
 };
 
+/// The three message-passing stacks, in the paper's presentation order.
+/// Differential checkers iterate this: all three must produce element-wise
+/// identical collective results for any legal schedule.
+inline constexpr std::array<Prims, 3> kAllPrims = {
+    Prims::kBlocking, Prims::kIrcce, Prims::kLightweight};
+
 [[nodiscard]] constexpr std::string_view prims_name(Prims p) {
   switch (p) {
     case Prims::kBlocking: return "blocking";

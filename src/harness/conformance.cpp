@@ -1,0 +1,153 @@
+#include "harness/conformance.hpp"
+
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+
+namespace scc::harness {
+
+namespace {
+
+PaperVariant variant_of(coll::Prims prims) {
+  switch (prims) {
+    case coll::Prims::kBlocking: return PaperVariant::kBlocking;
+    case coll::Prims::kIrcce: return PaperVariant::kIrcce;
+    case coll::Prims::kLightweight: return PaperVariant::kLightweight;
+  }
+  return PaperVariant::kBlocking;
+}
+
+RunSpec base_run_spec(const ConformanceSpec& spec, coll::Prims prims) {
+  RunSpec run;
+  run.collective = spec.collective;
+  run.variant = variant_of(prims);
+  run.elements = spec.elements;
+  run.repetitions = spec.repetitions;
+  run.warmup = spec.warmup;
+  run.seed = spec.engine_seed;
+  run.verify = true;  // every run is also checked against the serial model
+  run.capture_outputs = true;
+  run.split_override = spec.split;
+  run.config.tiles_x = spec.tiles_x;
+  run.config.tiles_y = spec.tiles_y;
+  run.config.cost.hw.model_link_contention = spec.model_contention;
+  return run;
+}
+
+/// First differing (core, element) pair, or empty when identical.
+std::string diff_outputs(const std::vector<std::vector<double>>& got,
+                         const std::vector<std::vector<double>>& want) {
+  if (got.size() != want.size())
+    return strprintf("output core count %zu != baseline %zu", got.size(),
+                     want.size());
+  for (std::size_t r = 0; r < got.size(); ++r) {
+    if (got[r].size() != want[r].size())
+      return strprintf("core %zu output size %zu != baseline %zu", r,
+                       got[r].size(), want[r].size());
+    for (std::size_t i = 0; i < got[r].size(); ++i) {
+      if (got[r][i] != want[r][i])
+        return strprintf("core %zu element %zu: got %.17g baseline %.17g", r,
+                         i, got[r][i], want[r][i]);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string ConformanceFailure::replay() const {
+  std::string where = stack + " engine_seed=" + std::to_string(engine_seed);
+  where += perturb_seed
+               ? " perturb_seed=" + std::to_string(*perturb_seed)
+               : std::string(" unperturbed");
+  return where + ": " + what;
+}
+
+std::string ConformanceReport::summary() const {
+  std::string s = configuration + ": " + std::to_string(runs) + " runs, ";
+  if (passed()) return s + "all conformant";
+  s += std::to_string(failures.size()) + " failure(s)";
+  for (const ConformanceFailure& f : failures) s += "\n  " + f.replay();
+  return s;
+}
+
+ConformanceReport run_conformance(const ConformanceSpec& spec) {
+  SCC_EXPECTS(spec.perturb_seeds >= 1);
+  SCC_EXPECTS(spec.tiles_x >= 1 && spec.tiles_y >= 1);
+
+  ConformanceReport report;
+  report.configuration = strprintf(
+      "%s n=%zu mesh=%dx%d split=%s delay=%llufs",
+      std::string(collective_name(spec.collective)).c_str(), spec.elements,
+      spec.tiles_x, spec.tiles_y,
+      spec.split == coll::SplitPolicy::kBalanced ? "balanced" : "standard",
+      static_cast<unsigned long long>(spec.max_delay_fs));
+
+  // Baseline outputs of the first stack that produced one; all later
+  // baselines and every perturbed run must agree element-wise with it.
+  std::optional<std::vector<std::vector<double>>> reference;
+
+  for (const coll::Prims prims : coll::kAllPrims) {
+    const std::string stack_name{coll::prims_name(prims)};
+    const auto record = [&](std::optional<std::uint64_t> perturb_seed,
+                            std::string what) {
+      report.failures.push_back(ConformanceFailure{
+          stack_name, spec.engine_seed, perturb_seed, std::move(what)});
+    };
+
+    // Unperturbed baseline for this stack.
+    RunSpec run = base_run_spec(spec, prims);
+    std::optional<RunResult> baseline;
+    ++report.runs;
+    try {
+      baseline = run_collective(run);
+    } catch (const std::exception& e) {
+      record(std::nullopt, e.what());
+      continue;  // no baseline -> perturbed runs have nothing to diff against
+    }
+    if (reference) {
+      // Cross-stack differential check: the wire protocol and data results
+      // are meant to be identical across the three layers.
+      const std::string diff = diff_outputs(baseline->outputs, *reference);
+      if (!diff.empty()) record(std::nullopt, "cross-stack mismatch: " + diff);
+    } else {
+      reference = baseline->outputs;
+    }
+
+    for (int k = 0; k < spec.perturb_seeds; ++k) {
+      const std::uint64_t pseed =
+          spec.perturb_seed_base + static_cast<std::uint64_t>(k);
+      run.config.perturb_seed = pseed;
+      run.config.perturb_max_delay_fs = spec.max_delay_fs;
+      ++report.runs;
+      try {
+        const RunResult perturbed = run_collective(run);
+        const std::string diff =
+            diff_outputs(perturbed.outputs, baseline->outputs);
+        if (!diff.empty()) record(pseed, "result mismatch: " + diff);
+        if (perturbed.lines_sent != baseline->lines_sent ||
+            perturbed.line_hops != baseline->line_hops) {
+          record(pseed,
+                 strprintf("traffic drift: lines_sent %llu vs %llu, "
+                           "line_hops %llu vs %llu",
+                           static_cast<unsigned long long>(
+                               perturbed.lines_sent),
+                           static_cast<unsigned long long>(
+                               baseline->lines_sent),
+                           static_cast<unsigned long long>(
+                               perturbed.line_hops),
+                           static_cast<unsigned long long>(
+                               baseline->line_hops)));
+        }
+      } catch (const std::exception& e) {
+        // Deadlock or serial-reference verification failure under this
+        // interleaving; the message from the engine already names the
+        // stuck cores and perturbation seed.
+        record(pseed, e.what());
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace scc::harness

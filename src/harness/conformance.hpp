@@ -1,0 +1,84 @@
+// Differential conformance checking across the three message-passing
+// stacks (RCCE blocking / iRCCE / lightweight non-blocking) under schedule
+// perturbation.
+//
+// The paper's optimizations (relaxed synchronization IV-A, lightweight
+// primitives IV-B) work by *removing* synchronization, which is exactly
+// where ordering bugs hide -- and the default engine explores only one
+// interleaving per program. This checker runs one (collective, size, mesh,
+// split-policy) configuration through every stack, first unperturbed and
+// then under K perturbation seeds (sim::PerturbConfig), and cross-checks:
+//
+//   1. element-wise results: every perturbed run must match the stack's
+//      unperturbed baseline, and the three stacks' baselines must match
+//      each other bit-for-bit (plus the harness's serial-reference check);
+//   2. traffic-volume invariants: total cache-line transfers and line-hops
+//      (noc::TrafficMatrix) are properties of the algorithm, not of the
+//      schedule, so they must be identical across perturbation seeds;
+//   3. absence of deadlock: a perturbed interleaving that wedges the
+//      protocol is reported, not hung (the engine detects queue drain).
+//
+// Every failure record carries the (engine seed, perturbation seed) pair
+// needed to replay the exact interleaving deterministically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coll/block_split.hpp"
+#include "harness/runner.hpp"
+
+namespace scc::harness {
+
+struct ConformanceSpec {
+  Collective collective = Collective::kAllreduce;
+  std::size_t elements = 96;
+  int tiles_x = 2;  // mesh shape; cores = tiles_x * tiles_y * 2
+  int tiles_y = 2;
+  coll::SplitPolicy split = coll::SplitPolicy::kBalanced;
+  /// Seeds the input data and the engine's deterministic base trace.
+  std::uint64_t engine_seed = 42;
+  /// Number of perturbation seeds per stack (K). The seeds used are
+  /// perturb_seed_base .. perturb_seed_base + K - 1.
+  int perturb_seeds = 16;
+  std::uint64_t perturb_seed_base = 1;
+  /// When nonzero, perturbed runs also inject uniform random event delays
+  /// in [0, max_delay_fs] femtoseconds (stresses timing assumptions, not
+  /// just equal-time ordering).
+  std::uint64_t max_delay_fs = 0;
+  bool model_contention = false;
+  int repetitions = 1;
+  int warmup = 0;
+};
+
+struct ConformanceFailure {
+  std::string stack;  // prims_name of the stack that failed
+  std::uint64_t engine_seed = 0;
+  /// Empty for a failure of the unperturbed baseline run itself.
+  std::optional<std::uint64_t> perturb_seed;
+  std::string what;
+
+  /// "collective/stack engine_seed=S perturb_seed=P: what" -- everything
+  /// needed to replay the failing interleaving.
+  [[nodiscard]] std::string replay() const;
+};
+
+struct ConformanceReport {
+  /// The configuration line this report describes (for log output).
+  std::string configuration;
+  int runs = 0;  // simulations executed (3 stacks x (1 baseline + K))
+  std::vector<ConformanceFailure> failures;
+
+  [[nodiscard]] bool passed() const { return failures.empty(); }
+  /// Human-readable multi-line summary; lists every failure's replay line.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs the full differential check for one configuration. Throws only on
+/// harness misuse (bad spec); protocol failures -- mismatches, deadlocks,
+/// traffic drift -- are collected in the report.
+[[nodiscard]] ConformanceReport run_conformance(const ConformanceSpec& spec);
+
+}  // namespace scc::harness

@@ -24,6 +24,7 @@ struct CoreData {
   aligned_vector<double> out;
   std::vector<SimTime> samples;  // filled by rank 0
   int owned_block = -1;          // ReduceScatter result block
+  std::vector<std::size_t> agv_counts;  // Allgatherv per-core counts
 };
 
 /// Integer-valued inputs: ring and tree reduction orders then agree
@@ -49,8 +50,31 @@ Buffers buffer_sizes(Collective c, std::size_t n, int p) {
     case Collective::kReduce:
     case Collective::kAllreduce:
       return {n, n};
+    case Collective::kScatter:
+      // Every rank allocates the root-sized send buffer; only the root's
+      // contents matter, but uniform sizing keeps the setup loop simple.
+      return {n * static_cast<std::size_t>(p), n};
+    case Collective::kGather:
+      return {n, n * static_cast<std::size_t>(p)};
+    case Collective::kAllgatherv:
+      return {0, 0};  // per-rank sizes; run_collective sizes these itself
   }
   return {n, n};
+}
+
+/// Deterministic irregular decomposition for Allgatherv: per-core counts in
+/// [0, n] drawn from the run seed (shared by setup and verification).
+std::vector<std::size_t> allgatherv_counts(std::uint64_t seed, int p,
+                                           std::size_t n) {
+  Xoshiro256 rng(seed ^ 0xa11647e7'0a11647eULL);
+  std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+  bool any = false;
+  for (auto& c : counts) {
+    c = rng.below(n + 1);
+    any = any || c > 0;
+  }
+  if (!any) counts[0] = n > 0 ? n : 1;  // keep the gathered vector non-empty
+  return counts;
 }
 
 coll::Prims prims_of(PaperVariant v) {
@@ -67,10 +91,14 @@ coll::SplitPolicy split_of(PaperVariant v) {
              : coll::SplitPolicy::kStandard;
 }
 
+coll::SplitPolicy effective_split(const RunSpec& spec) {
+  return spec.split_override.value_or(split_of(spec.variant));
+}
+
 /// One invocation of the collective under test, RCCE-family variants.
 sim::Task<> run_op_rcce(coll::Stack& stack, coll::MpbAllreduce* mpb,
                         const RunSpec& spec, CoreData& data) {
-  const coll::SplitPolicy split = split_of(spec.variant);
+  const coll::SplitPolicy split = effective_split(spec);
   switch (spec.collective) {
     case Collective::kAllgather:
       co_await coll::allgather(stack, data.in, data.out);
@@ -97,6 +125,15 @@ sim::Task<> run_op_rcce(coll::Stack& stack, coll::MpbAllreduce* mpb,
                                  coll::ReduceOp::kSum, split);
       }
       co_return;
+    case Collective::kScatter:
+      co_await coll::scatter(stack, data.in, data.out, kRoot);
+      co_return;
+    case Collective::kGather:
+      co_await coll::gather(stack, data.in, data.out, kRoot);
+      co_return;
+    case Collective::kAllgatherv:
+      co_await coll::allgatherv(stack, data.in, data.agv_counts, data.out);
+      co_return;
   }
 }
 
@@ -121,6 +158,12 @@ sim::Task<> run_op_mpi(rckmpi::Mpi& mpi, const RunSpec& spec,
       co_return;
     case Collective::kAllreduce:
       co_await mpi.allreduce(data.in, data.out, rckmpi::ReduceOp::kSum);
+      co_return;
+    case Collective::kScatter:
+    case Collective::kGather:
+    case Collective::kAllgatherv:
+      // Not in variants_for() for the RCKMPI baseline; unreachable.
+      SCC_ASSERT(false);
       co_return;
   }
 }
@@ -196,6 +239,35 @@ void verify_results(const RunSpec& spec, int p,
                     data[kRoot].in[i], "broadcast");
       return;
     }
+    case Collective::kScatter: {
+      for (int r = 0; r < p; ++r)
+        for (std::size_t i = 0; i < n; ++i)
+          expect_eq(data[static_cast<std::size_t>(r)].out[i],
+                    data[kRoot].in[static_cast<std::size_t>(r) * n + i],
+                    "scatter");
+      return;
+    }
+    case Collective::kGather: {
+      for (int src = 0; src < p; ++src)
+        for (std::size_t i = 0; i < n; ++i)
+          expect_eq(data[kRoot].out[static_cast<std::size_t>(src) * n + i],
+                    data[static_cast<std::size_t>(src)].in[i], "gather");
+      return;
+    }
+    case Collective::kAllgatherv: {
+      const auto counts = allgatherv_counts(spec.seed, p, n);
+      for (int r = 0; r < p; ++r) {
+        std::size_t offset = 0;
+        for (int src = 0; src < p; ++src) {
+          for (std::size_t i = 0; i < counts[static_cast<std::size_t>(src)];
+               ++i)
+            expect_eq(data[static_cast<std::size_t>(r)].out[offset + i],
+                      data[static_cast<std::size_t>(src)].in[i], "allgatherv");
+          offset += counts[static_cast<std::size_t>(src)];
+        }
+      }
+      return;
+    }
     case Collective::kReduce:
     case Collective::kAllreduce:
     case Collective::kReduceScatter: {
@@ -214,7 +286,7 @@ void verify_results(const RunSpec& spec, int p,
       } else {
         const coll::SplitPolicy policy =
             spec.variant == PaperVariant::kRckmpi ? coll::SplitPolicy::kBalanced
-                                                  : split_of(spec.variant);
+                                                  : effective_split(spec);
         // Both stacks' ring direction leaves core i owning block (i+1)%p.
         const auto blocks = coll::split_blocks(n, p, policy);
         for (int r = 0; r < p; ++r) {
@@ -239,6 +311,13 @@ std::vector<PaperVariant> variants_for(Collective c) {
     case Collective::kAlltoall:
       return {PaperVariant::kRckmpi, PaperVariant::kBlocking,
               PaperVariant::kIrcce, PaperVariant::kLightweight};
+    case Collective::kScatter:
+    case Collective::kGather:
+    case Collective::kAllgatherv:
+      // RCCE-family only: RCKMPI has no counterpart wired up, and neither
+      // split policy nor the MPB path applies.
+      return {PaperVariant::kBlocking, PaperVariant::kIrcce,
+              PaperVariant::kLightweight};
     case Collective::kReduceScatter:
     case Collective::kBroadcast:
     case Collective::kReduce:
@@ -274,11 +353,23 @@ RunResult run_collective(const RunSpec& spec) {
   machine::SccMachine machine(config);
 
   const Buffers sizes = buffer_sizes(spec.collective, spec.elements, p);
+  std::vector<std::size_t> agv_counts;
+  std::size_t agv_total = 0;
+  if (spec.collective == Collective::kAllgatherv) {
+    agv_counts = allgatherv_counts(spec.seed, p, spec.elements);
+    for (const std::size_t c : agv_counts) agv_total += c;
+  }
   std::vector<CoreData> data(static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) {
     auto& d = data[static_cast<std::size_t>(r)];
-    d.in.resize(sizes.in_elems);
-    d.out.resize(sizes.out_elems, 0.0);
+    if (spec.collective == Collective::kAllgatherv) {
+      d.agv_counts = agv_counts;
+      d.in.resize(agv_counts[static_cast<std::size_t>(r)]);
+      d.out.resize(agv_total, 0.0);
+    } else {
+      d.in.resize(sizes.in_elems);
+      d.out.resize(sizes.out_elems, 0.0);
+    }
     fill_input(d.in, spec.seed, r);
     if (spec.collective == Collective::kBroadcast && r == kRoot) {
       d.out = d.in;  // the root broadcasts its own data in place
@@ -310,6 +401,15 @@ RunResult run_collective(const RunSpec& spec) {
   result.max_latency = max_s;
   result.verified = spec.verify;
   result.events = machine.engine().events_processed();
+  result.lines_sent = machine.traffic().total_lines_sent();
+  result.line_hops = machine.traffic().total_line_hops();
+  if (spec.capture_outputs) {
+    result.outputs.reserve(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      const auto& out = data[static_cast<std::size_t>(r)].out;
+      result.outputs.emplace_back(out.begin(), out.end());
+    }
+  }
   if (spec.collect_profiles) {
     result.profiles.reserve(static_cast<std::size_t>(p));
     for (int r = 0; r < p; ++r)

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -45,6 +46,12 @@ enum class Collective {
   kBroadcast,
   kReduce,
   kAllreduce,
+  // Beyond Fig. 9: the remaining RCCE_comm entry points. Not part of the
+  // paper's evaluation (no RCKMPI counterpart is wired up), but fuzzed and
+  // conformance-checked like the rest.
+  kScatter,
+  kGather,
+  kAllgatherv,
 };
 
 [[nodiscard]] constexpr std::string_view collective_name(Collective c) {
@@ -55,6 +62,9 @@ enum class Collective {
     case Collective::kBroadcast: return "broadcast";
     case Collective::kReduce: return "reduce";
     case Collective::kAllreduce: return "allreduce";
+    case Collective::kScatter: return "scatter";
+    case Collective::kGather: return "gather";
+    case Collective::kAllgatherv: return "allgatherv";
   }
   return "?";
 }
@@ -73,6 +83,12 @@ struct RunSpec {
   std::uint64_t seed = 42;
   bool verify = true;          // compare against a serial reference
   bool collect_profiles = false;
+  /// When true, RunResult carries a copy of every core's final output
+  /// buffer (differential checkers compare them across stacks and seeds).
+  bool capture_outputs = false;
+  /// Forces the block-split policy regardless of what the variant implies
+  /// (the conformance harness exercises every stack under both policies).
+  std::optional<coll::SplitPolicy> split_override;
   machine::SccConfig config = machine::SccConfig::paper_default();
 };
 
@@ -82,7 +98,10 @@ struct RunResult {
   SimTime max_latency;
   bool verified = false;  // true when verify was requested and passed
   std::uint64_t events = 0;
+  std::uint64_t lines_sent = 0;  // end-to-end MPB cache-line transfers
+  std::uint64_t line_hops = 0;   // sum over links (volume x distance)
   std::vector<machine::CoreProfile> profiles;  // when collect_profiles
+  std::vector<std::vector<double>> outputs;    // when capture_outputs
 };
 
 /// Runs the experiment on a fresh machine. Throws std::runtime_error on

@@ -1,6 +1,9 @@
 // Machine-level configuration: topology shape + full cost model.
 #pragma once
 
+#include <cstdint>
+#include <optional>
+
 #include "mem/cost_model.hpp"
 
 namespace scc::machine {
@@ -17,6 +20,13 @@ struct SccConfig {
   /// When true, MPB contents are poisoned at startup so reads of
   /// never-written areas are detectable in tests.
   bool poison_mpb = false;
+  /// Schedule perturbation (testing): when set, the machine's engine fires
+  /// equal-time events in a seed-dependent pseudo-random permutation instead
+  /// of scheduling order (sim::PerturbConfig). Deterministic per seed.
+  std::optional<std::uint64_t> perturb_seed;
+  /// With perturb_seed set and this nonzero, every event is additionally
+  /// delayed by a uniform random duration in [0, perturb_max_delay_fs] fs.
+  std::uint64_t perturb_max_delay_fs = 0;
 
   [[nodiscard]] int num_cores() const {
     return tiles_x * tiles_y * cores_per_tile;

@@ -14,6 +14,10 @@ SccMachine::SccMachine(SccConfig config)
       contention_(topology_, config_.cost.hw.mesh_clock(),
                   config_.cost.hw.link_service_mesh_cycles_per_line),
       harness_barrier_(engine_) {
+  if (config_.perturb_seed) {
+    engine_.enable_perturbation(sim::PerturbConfig{
+        *config_.perturb_seed, SimTime{config_.perturb_max_delay_fs}});
+  }
   caches_.reserve(static_cast<std::size_t>(num_cores()));
   cores_.reserve(static_cast<std::size_t>(num_cores()));
   for (int rank = 0; rank < num_cores(); ++rank) {

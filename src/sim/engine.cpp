@@ -4,25 +4,46 @@
 
 namespace scc::sim {
 
+void Engine::enable_perturbation(PerturbConfig config) {
+  SCC_EXPECTS(!running_);
+  SCC_EXPECTS(queue_.empty() && next_seq_ == 0);
+  SCC_EXPECTS(config.max_delay < SimTime::max());
+  perturb_ = config;
+  perturb_rng_ = Xoshiro256(config.seed);
+}
+
+void Engine::push_event(SimTime when, std::coroutine_handle<> h,
+                        std::function<void()> fn) {
+  std::uint64_t tie = 0;
+  if (perturb_) {
+    tie = perturb_rng_();
+    if (perturb_->max_delay > SimTime::zero()) {
+      when += SimTime{
+          perturb_rng_.below(perturb_->max_delay.femtoseconds() + 1)};
+    }
+  }
+  queue_.push(Event{when, tie, next_seq_++, h, std::move(fn)});
+}
+
 void Engine::schedule_resume(SimTime when, std::coroutine_handle<> h) {
   SCC_EXPECTS(when >= now_);
   SCC_EXPECTS(h != nullptr);
-  queue_.push(Event{when, next_seq_++, h, nullptr});
+  push_event(when, h, nullptr);
 }
 
 void Engine::schedule_call(SimTime when, std::function<void()> fn) {
   SCC_EXPECTS(when >= now_);
   SCC_EXPECTS(fn != nullptr);
-  queue_.push(Event{when, next_seq_++, nullptr, std::move(fn)});
+  push_event(when, nullptr, std::move(fn));
 }
 
 void Engine::spawn(Task<> task, std::string name) {
   SCC_EXPECTS(task.valid());
   roots_.push_back(Root{std::move(task), std::move(name)});
   // Task is lazy; kick it off at the current time through the queue so
-  // spawn order equals first-run order.
-  queue_.push(
-      Event{now_, next_seq_++, roots_.back().task.native_handle(), nullptr});
+  // spawn order equals first-run order (under perturbation the start order
+  // is permuted like any other equal-time batch).
+  push_event(now_, roots_.back().task.native_handle(), nullptr);
 }
 
 void Engine::drain() {
@@ -54,10 +75,14 @@ void Engine::run() {
       stuck += root.name;
     }
   }
-  if (!stuck.empty())
-    throw std::runtime_error(
-        "simulation deadlock: event queue empty but tasks still blocked: " +
-        stuck);
+  if (!stuck.empty()) {
+    std::string msg = "simulation deadlock";
+    msg += perturb_ ? " [perturbation seed " +
+                          std::to_string(perturb_->seed) + "]"
+                    : " [perturbation off]";
+    msg += ": event queue empty but tasks still blocked: " + stuck;
+    throw std::runtime_error(msg);
+  }
   for (auto& root : roots_) root.task.rethrow_if_failed();
   roots_.clear();
 }

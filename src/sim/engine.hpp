@@ -3,20 +3,42 @@
 // Single-threaded, deterministic: events at equal times fire in the order
 // they were scheduled (monotone sequence numbers break ties), so a given
 // program and seed always produce the identical virtual-time trace.
+//
+// Schedule perturbation (testing mode): enable_perturbation() replaces the
+// scheduling-order tie-break with a seeded pseudo-random key, so events at
+// equal times fire in a seed-dependent permutation, and can additionally
+// inject a small random delay into every scheduled event. Each seed still
+// yields one exactly-reproducible trace -- the point is to explore *other*
+// legal interleavings than the default one, which is how ordering bugs in
+// the relaxed-synchronization protocols are flushed out (see DESIGN.md,
+// "Determinism & schedule perturbation").
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <string>
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "common/rng.hpp"
 #include "common/time.hpp"
 #include "sim/task.hpp"
 
 namespace scc::sim {
+
+/// Settings for the engine's schedule-perturbation mode.
+struct PerturbConfig {
+  /// Seeds the tie-break/delay stream. Equal seeds reproduce the identical
+  /// interleaving; distinct seeds explore distinct ones.
+  std::uint64_t seed = 0;
+  /// When nonzero, every scheduled event is additionally delayed by a
+  /// uniform pseudo-random duration in [0, max_delay]. Zero keeps virtual
+  /// timestamps exact and only permutes equal-time ordering.
+  SimTime max_delay = SimTime::zero();
+};
 
 class Engine {
  public:
@@ -25,6 +47,20 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Switches the engine into perturbation mode. Must be called before any
+  /// event is scheduled (the permutation covers the whole trace or none of
+  /// it -- a half-perturbed trace would not be reproducible from the seed).
+  void enable_perturbation(PerturbConfig config);
+
+  [[nodiscard]] bool perturbation_enabled() const {
+    return perturb_.has_value();
+  }
+  /// The active perturbation seed; only valid when perturbation_enabled().
+  [[nodiscard]] std::uint64_t perturbation_seed() const {
+    SCC_EXPECTS(perturb_.has_value());
+    return perturb_->seed;
+  }
 
   /// Resume `h` at absolute time `when` (must be >= now()).
   void schedule_resume(SimTime when, std::coroutine_handle<> h);
@@ -54,8 +90,9 @@ class Engine {
   void spawn(Task<> task, std::string name);
 
   /// Runs until the event queue drains. Throws std::runtime_error if any
-  /// root task is still unfinished then (deadlock), listing the stuck tasks;
-  /// rethrows the first root-task exception, if any.
+  /// root task is still unfinished then (deadlock), listing the stuck tasks
+  /// and the perturbation seed when perturbation is active; rethrows the
+  /// first root-task exception, if any.
   void run();
 
   /// Like run() but returns false instead of throwing when root tasks are
@@ -69,11 +106,13 @@ class Engine {
  private:
   struct Event {
     SimTime when;
+    std::uint64_t tie;  // 0 unperturbed; seeded-random key under perturbation
     std::uint64_t seq;
     std::coroutine_handle<> handle;    // either handle ...
     std::function<void()> call;        // ... or call is set
     friend bool operator>(const Event& a, const Event& b) {
       if (a.when != b.when) return a.when > b.when;
+      if (a.tie != b.tie) return a.tie > b.tie;
       return a.seq > b.seq;
     }
   };
@@ -84,6 +123,8 @@ class Engine {
   };
 
   void drain();
+  void push_event(SimTime when, std::coroutine_handle<> h,
+                  std::function<void()> fn);
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::vector<Root> roots_;
@@ -91,6 +132,8 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   bool running_ = false;
+  std::optional<PerturbConfig> perturb_;
+  Xoshiro256 perturb_rng_;
 };
 
 }  // namespace scc::sim

@@ -4,7 +4,11 @@
 // MPB flag is written) awaits the queue; whoever changes the state calls
 // notify_all(). Waiters are resumed *through the engine queue* at the
 // notifier's current time, never inline, so notification order cannot
-// depend on incidental call stacks (determinism).
+// depend on incidental call stacks (determinism). Because wakeups route
+// through the engine, the engine's schedule-perturbation mode permutes the
+// resume order of simultaneously-notified waiters -- code parked here must
+// therefore re-check its predicate on wake and never rely on FIFO wakeup
+// (the classic condition-variable discipline).
 #pragma once
 
 #include <coroutine>

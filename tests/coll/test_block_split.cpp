@@ -1,5 +1,7 @@
 #include "coll/block_split.hpp"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 namespace scc::coll {
@@ -126,6 +128,29 @@ INSTANTIATE_TEST_SUITE_P(
       return "n" + std::to_string(param_info.param.n) + "_p" +
              std::to_string(param_info.param.p);
     });
+
+// Exhaustive check of the paper's §IV-C claim on the full small range: for
+// every n <= 64 and p <= 48, the balanced policy's blocks tile [0, n) in
+// order, sum to n, and differ by at most one element (which is what bounds
+// the imbalance at (m+1)/m, e.g. <= 1.1x for the paper's block sizes).
+TEST(BlockSplit, ExhaustiveSmallRangeBalancedInvariants) {
+  for (std::size_t n = 0; n <= 64; ++n) {
+    for (int p = 1; p <= 48; ++p) {
+      const auto blocks = split_blocks(n, p, SplitPolicy::kBalanced);
+      ASSERT_EQ(blocks.size(), static_cast<std::size_t>(p));
+      std::size_t offset = 0, sum = 0, max_c = 0, min_c = n + 1;
+      for (const Block& b : blocks) {
+        ASSERT_EQ(b.offset, offset) << "n=" << n << " p=" << p;
+        offset += b.count;
+        sum += b.count;
+        max_c = std::max(max_c, b.count);
+        min_c = std::min(min_c, b.count);
+      }
+      ASSERT_EQ(sum, n) << "n=" << n << " p=" << p;
+      ASSERT_LE(max_c - min_c, 1u) << "n=" << n << " p=" << p;
+    }
+  }
+}
 
 TEST(ImbalanceRatio, EmptyAndUniformAreOne) {
   EXPECT_DOUBLE_EQ(imbalance_ratio({}), 1.0);

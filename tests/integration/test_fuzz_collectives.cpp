@@ -6,6 +6,8 @@
 // splits, odd mesh shapes, chunk boundaries.
 #include <gtest/gtest.h>
 
+#include <iterator>
+
 #include "common/rng.hpp"
 #include "harness/runner.hpp"
 
@@ -21,7 +23,9 @@ constexpr MeshShape kMeshes[] = {{1, 1}, {2, 1}, {3, 1}, {2, 2}, {3, 2}};
 constexpr Collective kCollectives[] = {
     Collective::kAllgather,     Collective::kAlltoall,
     Collective::kReduceScatter, Collective::kBroadcast,
-    Collective::kReduce,        Collective::kAllreduce};
+    Collective::kReduce,        Collective::kAllreduce,
+    Collective::kScatter,       Collective::kGather,
+    Collective::kAllgatherv};
 
 class FuzzCollectives : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -30,7 +34,7 @@ TEST_P(FuzzCollectives, RandomConfigurationVerifies) {
   // Several draws per gtest case keep the case count readable while still
   // covering a few hundred sampled configurations.
   for (int draw = 0; draw < 6; ++draw) {
-    const Collective coll = kCollectives[rng.below(6)];
+    const Collective coll = kCollectives[rng.below(std::size(kCollectives))];
     const auto variants = variants_for(coll);
     const PaperVariant variant = variants[rng.below(variants.size())];
     const MeshShape mesh = kMeshes[rng.below(5)];
@@ -67,10 +71,16 @@ TEST_P(FuzzCollectives, RandomConfigurationVerifies) {
     spec.config.cost.hw.model_link_contention = rng.below(3) == 0;
     // ... and some run on hypothetical fixed silicon.
     spec.config.cost.hw.mpb_bug_workaround = rng.below(4) != 0;
+    // Half the draws run under a perturbed schedule (seeded, reproducible),
+    // so the fuzzer explores interleavings as well as configurations.
+    if (rng.below(2) == 0) spec.config.perturb_seed = rng();
     SCOPED_TRACE(std::string(collective_name(coll)) + "/" +
                  std::string(variant_name(variant)) + " n=" +
                  std::to_string(n) + " mesh=" + std::to_string(mesh.x) + "x" +
-                 std::to_string(mesh.y));
+                 std::to_string(mesh.y) +
+                 (spec.config.perturb_seed
+                      ? " perturb=" + std::to_string(*spec.config.perturb_seed)
+                      : std::string()));
     const RunResult result = run_collective(spec);  // throws on mismatch
     EXPECT_TRUE(result.verified);
   }

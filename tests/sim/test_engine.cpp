@@ -99,6 +99,39 @@ TEST(Engine, DeadlockDetectedAndNamed) {
   }
 }
 
+// Regression: the deadlock diagnostic must name every stuck task AND the
+// perturbation seed, because replaying a deadlock found during perturbed
+// runs requires the exact (program, seed) pair.
+TEST(Engine, DeadlockDiagnosticsListTasksAndPerturbationSeed) {
+  Engine engine;
+  engine.enable_perturbation(PerturbConfig{77, SimTime::zero()});
+  WaitQueue queue(engine);
+  engine.spawn(waits_forever(&queue), "stuck-a");
+  engine.spawn(waits_forever(&queue), "stuck-b");
+  try {
+    engine.run();
+    FAIL() << "expected deadlock";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stuck-a"), std::string::npos) << what;
+    EXPECT_NE(what.find("stuck-b"), std::string::npos) << what;
+    EXPECT_NE(what.find("perturbation seed 77"), std::string::npos) << what;
+  }
+}
+
+TEST(Engine, DeadlockDiagnosticsSayPerturbationOffWhenUnperturbed) {
+  Engine engine;
+  WaitQueue queue(engine);
+  engine.spawn(waits_forever(&queue), "stuck");
+  try {
+    engine.run();
+    FAIL() << "expected deadlock";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("perturbation off"),
+              std::string::npos);
+  }
+}
+
 TEST(Engine, RunDetectDeadlockReturnsFalse) {
   Engine engine;
   WaitQueue queue(engine);

@@ -81,7 +81,21 @@ TEST(Task, RootExceptionRethrownByRun) {
   EXPECT_THROW(engine.run(), std::logic_error);
 }
 
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SCC_TEST_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define SCC_TEST_ASAN 1
+#endif
+
 TEST(Task, DeepCallChainsUseSymmetricTransfer) {
+#ifdef SCC_TEST_ASAN
+  // ASan instrumentation suppresses the tail-call that makes symmetric
+  // transfer O(1) stack, so the resume chain genuinely recurses and a
+  // 100k-deep chain overflows. Nothing to test in that configuration.
+  GTEST_SKIP() << "symmetric transfer is not a tail call under ASan";
+#endif
   // 100k-deep chains would overflow the stack without symmetric transfer.
   Engine engine;
   int result = 0;
