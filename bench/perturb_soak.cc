@@ -8,9 +8,14 @@
 //
 //   perturb_soak --rounds=200 --seeds=32 --master-seed=1
 //   perturb_soak --collective=allreduce --delay-fs=2000000 --verbose
+//   perturb_soak --rounds=1 --master-seed=7 --trace=replay.json
 //
 // Every round is fully determined by (--master-seed, round index): a failed
-// round can be reproduced alone via --rounds=1 --master-seed=<reported>.
+// round can be reproduced alone via --rounds=1 --master-seed=<reported>,
+// and --trace=<path> records every simulation of the soak (baselines and
+// perturbed replays, each as its own run scope) into one chrome://tracing
+// file -- the recorder's capacity bounds memory, so long soaks simply stop
+// recording and report the drop count.
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -21,6 +26,7 @@
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "harness/conformance.hpp"
+#include "trace/chrome_export.hpp"
 
 namespace {
 
@@ -58,6 +64,7 @@ int main(int argc, char** argv) {
     const auto max_elements = flags.get_int("max-elements", 200);
     const std::string collective_flag = flags.get("collective", "all");
     const bool verbose = flags.get_bool("verbose", false);
+    const std::string trace_path = flags.get("trace", "");
     for (const std::string& name : flags.unconsumed()) {
       std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
       return 2;
@@ -87,6 +94,9 @@ int main(int argc, char** argv) {
       }
     }
 
+    std::optional<scc::trace::Recorder> recorder;
+    if (!trace_path.empty()) recorder.emplace();
+
     long total_runs = 0;
     long failed_rounds = 0;
     for (long round = 0; round < rounds; ++round) {
@@ -113,6 +123,7 @@ int main(int argc, char** argv) {
               ? static_cast<std::uint64_t>(fixed_delay_fs)
               : (rng.below(3) == 0 ? 1'876'173ULL * (1 + rng.below(10)) : 0);
       spec.model_contention = rng.below(3) == 0;
+      spec.trace = recorder ? &*recorder : nullptr;
 
       const scc::harness::ConformanceReport report =
           scc::harness::run_conformance(spec);
@@ -126,6 +137,12 @@ int main(int argc, char** argv) {
       } else if (verbose) {
         std::printf("round %ld: %s\n", round, report.summary().c_str());
       }
+    }
+    if (recorder) {
+      scc::trace::write_chrome_json_file(*recorder, trace_path);
+      std::printf("trace written to %s (%zu events, %llu dropped)\n",
+                  trace_path.c_str(), recorder->events().size(),
+                  static_cast<unsigned long long>(recorder->dropped()));
     }
     std::printf("perturb_soak: %ld rounds, %ld simulations, %ld failed\n",
                 rounds, total_runs, failed_rounds);

@@ -7,12 +7,18 @@
 
 #include <algorithm>
 #include <iostream>
+#include <string>
 
 #include "bench_support.hpp"
 #include "gcmc/app.hpp"
 #include "machine/profile.hpp"
+#include "trace/chrome_export.hpp"
 
 namespace {
+
+/// --trace=<path>: when set, every profiled Allreduce run is also recorded
+/// into one chrome://tracing file (one run scope per variant).
+scc::trace::Recorder* g_trace = nullptr;
 
 using scc::machine::CoreProfile;
 using scc::machine::Phase;
@@ -58,6 +64,7 @@ std::vector<CoreProfile> allreduce_profiles(PaperVariant v) {
   spec.warmup = 1;
   spec.verify = false;
   spec.collect_profiles = true;
+  spec.trace = g_trace;
   return scc::harness::run_collective(spec).profiles;
 }
 
@@ -73,6 +80,21 @@ void bench_profile(benchmark::State& state, PaperVariant v,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Pull our own --trace= flag out of argv before google-benchmark sees it.
+  std::string trace_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  static scc::trace::Recorder recorder;
+  if (!trace_path.empty()) g_trace = &recorder;
+
   const PaperVariant variants[] = {PaperVariant::kBlocking,
                                    PaperVariant::kIrcce,
                                    PaperVariant::kLightweight,
@@ -125,5 +147,11 @@ int main(int argc, char** argv) {
       b.wait_max_pct, b.wait_mean_pct);
   std::filesystem::create_directories("bench_results");
   table.write_csv_file("bench_results/tab_wait_profile.csv");
+  if (g_trace) {
+    scc::trace::write_chrome_json_file(recorder, trace_path);
+    std::cout << "trace written to " << trace_path << " ("
+              << recorder.events().size() << " events, " << recorder.dropped()
+              << " dropped)\n";
+  }
   return 0;
 }

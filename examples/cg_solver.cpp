@@ -10,11 +10,11 @@
 //     matrix-vector product; gathering the full vector keeps the example
 //     simple and stresses the collective exactly like the paper's app).
 // Per-iteration latency is therefore dominated by collective latency --
-// run with --variant blocking vs --variant lw-balanced to see the paper's
+// run with --variant=blocking vs --variant=lw-balanced to see the paper's
 // optimizations translate directly into solver time.
 //
-// Usage: cg_solver [--variant <stack>] [--rows-per-core N] [--tol T]
-//                  [--max-iters K] [--compare]
+// Usage: cg_solver [--variant=<stack>] [--rows-per-core=N] [--tol=T]
+//                  [--max-iters=K] [--compare]
 #include <cmath>
 #include <cstdio>
 #include <exception>

@@ -3,20 +3,25 @@
 // NoC traffic -- the knobs a user turns when exploring the library.
 //
 // Usage:
-//   collective_playground [--collective allreduce|allgather|alltoall|
+//   collective_playground [--collective=allreduce|allgather|alltoall|
 //                           reducescatter|broadcast|reduce]
-//                         [--variant blocking|ircce|lightweight|lw-balanced|
+//                         [--variant=blocking|ircce|lightweight|lw-balanced|
 //                           mpb|rckmpi]
-//                         [--elements N] [--reps K] [--mesh 6x4] [--no-bug]
-//                         [--profile]
+//                         [--elements=N] [--reps=K] [--mesh=6x4] [--no-bug]
+//                         [--profile] [--trace=out.json]
+//
+// --trace writes a chrome://tracing / Perfetto timeline of the run (plus
+// <path>.links.csv with per-link utilization when contention is modeled).
 #include <cstdio>
 #include <exception>
 #include <iostream>
+#include <optional>
 
 #include "common/cli.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
 #include "harness/runner.hpp"
+#include "trace/chrome_export.hpp"
 
 namespace {
 
@@ -62,6 +67,12 @@ int main(int argc, char** argv) {
     if (flags.get_bool("no-bug", false)) {
       spec.config.cost.hw.mpb_bug_workaround = false;
     }
+    const std::string trace_path = flags.get("trace", "");
+    std::optional<trace::Recorder> recorder;
+    if (!trace_path.empty()) {
+      recorder.emplace();
+      spec.trace = &*recorder;
+    }
 
     const harness::RunResult result = harness::run_collective(spec);
     std::printf("%s / %s, %zu doubles on %d cores (%sx%s tiles)\n",
@@ -77,6 +88,13 @@ int main(int argc, char** argv) {
     std::printf("  verified     : %s\n", result.verified ? "yes" : "skipped");
     std::printf("  sim events   : %llu\n",
                 static_cast<unsigned long long>(result.events));
+    if (recorder) {
+      trace::write_chrome_json_file(*recorder, trace_path);
+      trace::write_link_csv_file(*recorder, trace_path + ".links.csv");
+      std::printf("  trace        : %s (%zu events, %llu dropped)\n",
+                  trace_path.c_str(), recorder->events().size(),
+                  static_cast<unsigned long long>(recorder->dropped()));
+    }
 
     if (spec.collect_profiles) {
       std::printf("\nper-phase share of core time (mean over cores):\n");

@@ -3,7 +3,7 @@
 // runtime under a chosen communication stack.
 //
 // Usage:
-//   gcmc_demo [--variant blocking|ircce|lightweight|lw-balanced|mpb|rckmpi]
+//   gcmc_demo [--variant=blocking|ircce|lightweight|lw-balanced|mpb|rckmpi]
 //             [--cycles N] [--particles N] [--kmaxvecs N] [--seed S]
 //             [--compare]   (run all six stacks and tabulate, Fig. 10 style)
 #include <cstdio>

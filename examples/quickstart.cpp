@@ -5,7 +5,7 @@
 // library variants of Fig. 9f and prints the measured virtual-time latency
 // plus the speedup over the RCCE_comm baseline.
 //
-// Usage: quickstart [--elements N] [--reps K] [--no-bug]
+// Usage: quickstart [--elements=N] [--reps=K] [--no-bug]
 #include <cstdio>
 #include <exception>
 #include <iostream>

@@ -3,7 +3,7 @@
 // every higher-level result is built -- useful for sanity-checking the
 // hardware model against the SCC documentation.
 //
-// Usage: topology_explorer [--mesh 6x4] [--no-bug] [--from-core N]
+// Usage: topology_explorer [--mesh=6x4] [--no-bug] [--from-core=N]
 #include <cstdio>
 #include <exception>
 #include <stdexcept>

@@ -18,10 +18,10 @@ CliFlags CliFlags::parse(int argc, const char* const* argv) {
     const std::size_t eq = body.find('=');
     if (eq != std::string::npos) {
       flags.values_[body.substr(0, eq)] = {body.substr(eq + 1), false};
-    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      flags.values_[body] = {argv[i + 1], false};
-      ++i;
     } else {
+      // Values must be attached with '=': without a registry of which
+      // flags take values, consuming the next token here would swallow a
+      // following positional (see header comment).
       flags.values_[body] = {"true", false};  // bare boolean flag
     }
   }
@@ -49,8 +49,11 @@ std::int64_t CliFlags::get_int(const std::string& name,
   if (it == values_.end()) return fallback;
   it->second.second = true;
   char* end = nullptr;
-  const long long v = std::strtoll(it->second.first.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0')
+  const char* s = it->second.first.c_str();
+  const long long v = std::strtoll(s, &end, 10);
+  // end == s catches the empty value of "--n=" (strtoll consumes nothing
+  // but still leaves *end == '\0', which the trailing-junk check accepts).
+  if (end == nullptr || end == s || *end != '\0')
     throw std::runtime_error("flag --" + name + " expects an integer, got '" +
                              it->second.first + "'");
   return v;
@@ -61,8 +64,9 @@ double CliFlags::get_double(const std::string& name, double fallback) const {
   if (it == values_.end()) return fallback;
   it->second.second = true;
   char* end = nullptr;
-  const double v = std::strtod(it->second.first.c_str(), &end);
-  if (end == nullptr || *end != '\0')
+  const char* s = it->second.first.c_str();
+  const double v = std::strtod(s, &end);
+  if (end == nullptr || end == s || *end != '\0')
     throw std::runtime_error("flag --" + name + " expects a number, got '" +
                              it->second.first + "'");
   return v;

@@ -1,6 +1,11 @@
 // Minimal command-line flag parsing for bench and example binaries.
-// Flags use --name=value or --name value; unknown flags are an error so
-// typos don't silently run the wrong experiment.
+// Flags use --name=value; a bare --name is the boolean "true". The
+// space-separated form (--name value) is deliberately NOT supported: the
+// parser has no flag registry, so it cannot tell a boolean flag followed
+// by a positional from a value flag, and guessing used to swallow the
+// positional (and turned "--n -5" into n="-5" or n=true depending on the
+// sign). Unknown flags are an error so typos don't silently run the wrong
+// experiment.
 #pragma once
 
 #include <cstdint>

@@ -28,6 +28,7 @@ RunSpec base_run_spec(const ConformanceSpec& spec, coll::Prims prims) {
   run.verify = true;  // every run is also checked against the serial model
   run.capture_outputs = true;
   run.split_override = spec.split;
+  run.trace = spec.trace;
   run.config.tiles_x = spec.tiles_x;
   run.config.tiles_y = spec.tiles_y;
   run.config.cost.hw.model_link_contention = spec.model_contention;

@@ -51,6 +51,10 @@ struct ConformanceSpec {
   bool model_contention = false;
   int repetitions = 1;
   int warmup = 0;
+  /// When non-null, every run (baselines and perturbed replays) is traced
+  /// into this recorder, each as its own run scope -- useful to visually
+  /// compare the interleaving a failing perturbation seed produced.
+  trace::Recorder* trace = nullptr;
 };
 
 struct ConformanceFailure {

@@ -351,6 +351,12 @@ RunResult run_collective(const RunSpec& spec) {
   }
   config.flags_per_core = std::max(config.flags_per_core, flags_needed);
   machine::SccMachine machine(config);
+  if (spec.trace) {
+    spec.trace->begin_run(strprintf(
+        "%s/%s n=%zu", std::string(collective_name(spec.collective)).c_str(),
+        std::string(variant_name(spec.variant)).c_str(), spec.elements));
+    machine.attach_trace(spec.trace);
+  }
 
   const Buffers sizes = buffer_sizes(spec.collective, spec.elements, p);
   std::vector<std::size_t> agv_counts;

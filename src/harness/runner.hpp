@@ -14,6 +14,7 @@
 #include "machine/config.hpp"
 #include "machine/profile.hpp"
 #include "rcce/rcce.hpp"
+#include "trace/recorder.hpp"
 
 namespace scc::harness {
 
@@ -89,6 +90,11 @@ struct RunSpec {
   /// Forces the block-split policy regardless of what the variant implies
   /// (the conformance harness exercises every stack under both policies).
   std::optional<coll::SplitPolicy> split_override;
+  /// When non-null, the run is traced into this recorder: a new run scope
+  /// labelled "<collective>/<variant> n=<elements>" is opened and the
+  /// machine's phase intervals, scheduler instants and link windows are
+  /// recorded (see trace/recorder.hpp). Tracing never changes timing.
+  trace::Recorder* trace = nullptr;
   machine::SccConfig config = machine::SccConfig::paper_default();
 };
 

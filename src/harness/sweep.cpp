@@ -80,6 +80,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
       run.warmup = spec.warmup;
       run.seed = spec.seed;
       run.verify = spec.verify;
+      run.trace = spec.trace;
       run.config = spec.config;
       point.latency_us.push_back(run_collective(run).mean_latency.us());
     }

@@ -23,6 +23,9 @@ struct SweepSpec {
   machine::SccConfig config = machine::SccConfig::paper_default();
   /// Empty = the paper's variant set for this collective.
   std::vector<PaperVariant> variants;
+  /// When non-null, every (size, variant) run is traced into this recorder
+  /// as its own run scope (one trace file can hold the whole sweep).
+  trace::Recorder* trace = nullptr;
 };
 
 struct SweepPoint {

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/string_util.hpp"
 #include "machine/scc_machine.hpp"
 
 namespace scc::machine {
@@ -21,6 +22,10 @@ const mem::CostModel& CoreApi::cost() const {
 
 sim::Task<> CoreApi::charge_impl(Phase phase, SimTime duration) {
   profile_.add(phase, duration);
+  if (auto* trace = machine_->trace()) {
+    const SimTime start = now();
+    trace->interval(rank_, phase_name(phase), start, start + duration);
+  }
   co_await machine_->engine().sleep_for(duration);
 }
 
@@ -142,6 +147,10 @@ sim::Task<> CoreApi::flag_wait(FlagRef ref, FlagValue value) {
     co_await flags.waiters(ref).wait();
   }
   profile_.add(Phase::kFlagWait, now() - start);
+  if (auto* trace = machine_->trace()) {
+    trace->interval(rank_, phase_name(Phase::kFlagWait), start, now(),
+                    strprintf("flag %d:%d", ref.owner_core, ref.index));
+  }
   // The read that detects the value.
   const SimTime t =
       machine_->latency().mpb_line_access(rank_, ref.owner_core,
@@ -158,6 +167,10 @@ sim::Task<FlagValue> CoreApi::flag_wait_change(FlagRef ref,
     co_await flags.waiters(ref).wait();
   }
   profile_.add(Phase::kFlagWait, now() - start);
+  if (auto* trace = machine_->trace()) {
+    trace->interval(rank_, phase_name(Phase::kFlagWait), start, now(),
+                    strprintf("flag %d:%d", ref.owner_core, ref.index));
+  }
   const SimTime t =
       machine_->latency().mpb_line_access(rank_, ref.owner_core,
                                           /*is_read=*/true) +

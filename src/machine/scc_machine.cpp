@@ -12,7 +12,8 @@ SccMachine::SccMachine(SccConfig config)
       latency_(config_.cost.hw, topology_),
       traffic_(topology_),
       contention_(topology_, config_.cost.hw.mesh_clock(),
-                  config_.cost.hw.link_service_mesh_cycles_per_line),
+                  config_.cost.hw.link_service_mesh_cycles_per_line,
+                  config_.cost.hw.mesh_cycles_per_hop),
       harness_barrier_(engine_) {
   if (config_.perturb_seed) {
     engine_.enable_perturbation(sim::PerturbConfig{

@@ -64,6 +64,16 @@ class SccMachine {
   /// Drops all private-memory cache contents (cold-start experiments).
   void flush_caches();
 
+  /// Attaches a trace recorder (nullptr detaches) and propagates it to the
+  /// engine and the link-contention model. Purely observational: traced and
+  /// untraced runs have identical virtual timing.
+  void attach_trace(trace::Recorder* recorder) {
+    trace_ = recorder;
+    engine_.set_trace(recorder);
+    contention_.set_trace(recorder);
+  }
+  [[nodiscard]] trace::Recorder* trace() const { return trace_; }
+
   struct HarnessBarrier {
     explicit HarnessBarrier(sim::Engine& e) : queue(e) {}
     int arrived = 0;
@@ -84,6 +94,7 @@ class SccMachine {
   std::vector<mem::CacheModel> caches_;
   std::vector<std::unique_ptr<CoreApi>> cores_;
   HarnessBarrier harness_barrier_;
+  trace::Recorder* trace_ = nullptr;
 };
 
 /// Launches the same program factory on every core (SPMD style) -- the

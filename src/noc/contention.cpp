@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/string_util.hpp"
+
 namespace scc::noc {
 
 SimTime LinkContention::occupy(CoreId a, CoreId b, std::uint64_t lines,
@@ -10,17 +12,37 @@ SimTime LinkContention::occupy(CoreId a, CoreId b, std::uint64_t lines,
   const SimTime service =
       mesh_clock_.cycles(lines * service_cycles_per_line_);
   SimTime delay;
+  std::uint64_t hop = 0;
   for (const LinkId& link : topo_->route(a, b)) {
     SimTime& busy = busy_until_[key_of(link)];
-    const SimTime start = std::max(now + delay, busy);
-    delay += start - (now + delay);  // residual queueing on this link
+    // The head flit reaches this link only after crossing the `hop`
+    // preceding ones, so its window starts that much later than the
+    // transfer's departure (plus queueing already accumulated upstream).
+    const SimTime arrival = now + delay + hop_latency_ * hop;
+    const SimTime start = std::max(arrival, busy);
+    delay += start - arrival;  // residual queueing on this link
     busy = start + service;
+    if (trace_) {
+      trace_->link_window(link_name(link), start, busy, start - arrival);
+    }
+    ++hop;
   }
   if (delay > SimTime::zero()) {
     total_delay_ += delay;
     ++delayed_transfers_;
   }
   return delay;
+}
+
+std::string_view LinkContention::link_name(const LinkId& link) {
+  const Key key = key_of(link);
+  const auto it = names_.find(key);
+  if (it != names_.end()) return it->second;
+  const std::string_view name = trace_->intern(
+      strprintf("(%d,%d)->(%d,%d)", link.from.x, link.from.y, link.to.x,
+                link.to.y));
+  names_.emplace(key, name);
+  return name;
 }
 
 void LinkContention::reset() {

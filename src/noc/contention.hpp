@@ -8,6 +8,14 @@
 // a transfer crossing occupied links is delayed by the residual busy time
 // and then occupies each link for lines * service_cycles.
 //
+// Timing of the per-link windows is wormhole-style: the head flit reaches
+// link i only after traversing the i preceding links, so link i's window
+// starts hop_latency * i after the transfer leaves the source router (plus
+// any queueing accumulated upstream). Modelling this offset matters in both
+// directions: a transfer does NOT collide with traffic that drains off a
+// far link before its head arrives there, and trailing links stay occupied
+// after nearer ones free up, delaying later transfers that enter mid-route.
+//
 // Enabled via HwCostModel::model_link_contention (default off, so the
 // calibrated figures are unchanged); the abl_contention benchmark
 // quantifies its effect. Deterministic: state depends only on the
@@ -19,16 +27,19 @@
 
 #include "common/time.hpp"
 #include "noc/topology.hpp"
+#include "trace/recorder.hpp"
 
 namespace scc::noc {
 
 class LinkContention {
  public:
   LinkContention(const Topology& topo, Clock mesh_clock,
-                 std::uint32_t service_cycles_per_line)
+                 std::uint32_t service_cycles_per_line,
+                 std::uint32_t hop_mesh_cycles)
       : topo_(&topo),
         mesh_clock_(mesh_clock),
-        service_cycles_per_line_(service_cycles_per_line) {}
+        service_cycles_per_line_(service_cycles_per_line),
+        hop_latency_(mesh_clock.cycles(hop_mesh_cycles)) {}
 
   /// Registers a transfer of `lines` cache lines from core a's router to
   /// core b's starting at `now`; returns the extra queueing delay the
@@ -41,6 +52,13 @@ class LinkContention {
     return delayed_transfers_;
   }
 
+  /// Attaches a trace recorder (nullptr detaches): every occupy() then
+  /// records one busy window per crossed link, named "(x,y)->(x,y)".
+  void set_trace(trace::Recorder* recorder) {
+    if (recorder != trace_) names_.clear();  // views live in the recorder
+    trace_ = recorder;
+  }
+
   void reset();
 
  private:
@@ -49,12 +67,17 @@ class LinkContention {
     return {link.from.x, link.from.y, link.to.x, link.to.y};
   }
 
+  [[nodiscard]] std::string_view link_name(const LinkId& link);
+
   const Topology* topo_;
   Clock mesh_clock_;
   std::uint32_t service_cycles_per_line_;
+  SimTime hop_latency_;
   std::map<Key, SimTime> busy_until_;
   SimTime total_delay_;
   std::uint64_t delayed_transfers_ = 0;
+  trace::Recorder* trace_ = nullptr;
+  std::map<Key, std::string_view> names_;  // interned link names
 };
 
 }  // namespace scc::noc

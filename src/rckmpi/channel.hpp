@@ -108,6 +108,18 @@ class Channel {
   /// True when a header line from `src` is waiting (zero-cost probe).
   [[nodiscard]] bool incoming(int src) const;
 
+  /// Folds the (mod-256) flag value into the 32-bit cumulative counter.
+  /// Public (and static) so tests can exercise the wraparound arithmetic
+  /// directly: correctness relies on in-flight lines being < 256, which
+  /// ring_lines() <= 64 guarantees.
+  static void advance_counter(std::uint32_t& counter, std::uint8_t flag_value);
+
+  /// Free ring slots towards `dest` / unconsumed lines from `src`, from the
+  /// last refreshed counters. Bounded by ring_lines() -- the invariant the
+  /// wraparound tests pin across the mod-256 counter wrap.
+  [[nodiscard]] std::uint32_t tx_credits(int dest) const;
+  [[nodiscard]] std::uint32_t rx_available(int src) const;
+
  private:
   struct PairTx {  // per destination
     std::uint32_t lines_sent = 0;   // cumulative lines written
@@ -118,15 +130,10 @@ class Channel {
     std::uint32_t lines_consumed = 0;  // cumulative lines consumed
   };
 
-  /// Folds the (mod-256) flag value into the 32-bit cumulative counter.
-  static void advance_counter(std::uint32_t& counter, std::uint8_t flag_value);
-
   /// Zero-cost refresh of the peer counters from flag peeks (the polling
   /// half of the duplex progress loop).
   void refresh_tx(int dest);
   void refresh_rx(int src);
-  [[nodiscard]] std::uint32_t tx_credits(int dest) const;
-  [[nodiscard]] std::uint32_t rx_available(int src) const;
 
   /// Sender-side: write up to `max_lines` lines of the framed message
   /// (header line + payload) and bump the filled counter once.

@@ -18,8 +18,13 @@ void Engine::push_event(SimTime when, std::coroutine_handle<> h,
   if (perturb_) {
     tie = perturb_rng_();
     if (perturb_->max_delay > SimTime::zero()) {
-      when += SimTime{
+      const SimTime delay{
           perturb_rng_.below(perturb_->max_delay.femtoseconds() + 1)};
+      when += delay;
+      if (trace_ && delay > SimTime::zero()) {
+        trace_->instant(trace::kEnginePid, "perturb", "inject-delay", now_,
+                        "+" + std::to_string(delay.femtoseconds()) + " fs");
+      }
     }
   }
   queue_.push(Event{when, tie, next_seq_++, h, std::move(fn)});
@@ -39,6 +44,9 @@ void Engine::schedule_call(SimTime when, std::function<void()> fn) {
 
 void Engine::spawn(Task<> task, std::string name) {
   SCC_EXPECTS(task.valid());
+  if (trace_) {
+    trace_->instant(trace::kEnginePid, "tasks", "spawn", now_, name);
+  }
   roots_.push_back(Root{std::move(task), std::move(name)});
   // Task is lazy; kick it off at the current time through the queue so
   // spawn order equals first-run order (under perturbation the start order
@@ -70,6 +78,10 @@ void Engine::run() {
   drain();
   std::string stuck;
   for (auto& root : roots_) {
+    if (trace_) {
+      trace_->instant(trace::kEnginePid, "tasks",
+                      root.task.done() ? "done" : "stuck", now_, root.name);
+    }
     if (!root.task.done()) {
       if (!stuck.empty()) stuck += ", ";
       stuck += root.name;

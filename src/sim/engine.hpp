@@ -26,6 +26,7 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "sim/task.hpp"
+#include "trace/recorder.hpp"
 
 namespace scc::sim {
 
@@ -60,6 +61,24 @@ class Engine {
   [[nodiscard]] std::uint64_t perturbation_seed() const {
     SCC_EXPECTS(perturb_.has_value());
     return perturb_->seed;
+  }
+
+  /// Attaches a trace recorder (nullptr detaches). The engine records
+  /// scheduler instants -- task spawn/done/stuck, wait-queue park/notify,
+  /// perturbation delay injections -- under trace::kEnginePid. Recording is
+  /// purely observational: it never changes what is scheduled or when.
+  void set_trace(trace::Recorder* recorder) { trace_ = recorder; }
+  [[nodiscard]] trace::Recorder* trace() const { return trace_; }
+
+  /// Trace hooks for WaitQueue (no-ops when no recorder is attached).
+  void note_park() {
+    if (trace_) trace_->instant(trace::kEnginePid, "waitqueue", "park", now_);
+  }
+  void note_notify(std::size_t waiters) {
+    if (trace_ && waiters > 0) {
+      trace_->instant(trace::kEnginePid, "waitqueue", "notify", now_,
+                      std::to_string(waiters) + " waiter(s)");
+    }
   }
 
   /// Resume `h` at absolute time `when` (must be >= now()).
@@ -134,6 +153,7 @@ class Engine {
   bool running_ = false;
   std::optional<PerturbConfig> perturb_;
   Xoshiro256 perturb_rng_;
+  trace::Recorder* trace_ = nullptr;
 };
 
 }  // namespace scc::sim

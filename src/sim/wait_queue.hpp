@@ -35,6 +35,7 @@ class WaitQueue {
       WaitQueue& queue;
       [[nodiscard]] bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
+        queue.engine_->note_park();
         queue.waiters_.push_back(h);
       }
       void await_resume() const noexcept {}
@@ -44,6 +45,7 @@ class WaitQueue {
 
   /// Wakes every parked waiter (scheduled at the engine's current time).
   void notify_all() {
+    engine_->note_notify(waiters_.size());
     for (const auto h : waiters_) engine_->schedule_resume(engine_->now(), h);
     waiters_.clear();
   }

@@ -1,0 +1,35 @@
+// Exporters for trace::Recorder event streams.
+//
+// write_chrome_json emits the Trace Event Format consumed by
+// chrome://tracing and Perfetto ("JSON object format" with a traceEvents
+// array): one process per (run, core) -- plus one scheduler process and one
+// NoC-links process per run -- one thread per phase lane, and link
+// occupancy as 0/1 counter tracks. Timestamps are microseconds printed as
+// exact decimals of the femtosecond event times (9 fractional digits), so
+// a consumer can reconstruct the fs values losslessly and the output is
+// bit-identical for identical event streams.
+//
+// write_link_csv summarizes the link windows: one row per (run, link) with
+// window count, busy time, total queueing delay, and utilization over the
+// run's traced span.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/recorder.hpp"
+
+namespace scc::trace {
+
+void write_chrome_json(const Recorder& recorder, std::ostream& os);
+void write_chrome_json_file(const Recorder& recorder,
+                            const std::string& path);
+
+void write_link_csv(const Recorder& recorder, std::ostream& os);
+void write_link_csv_file(const Recorder& recorder, const std::string& path);
+
+/// "123.000456789" -- exact decimal microseconds of a femtosecond time
+/// (chrome's ts unit). Shared with tests that parse timestamps back.
+[[nodiscard]] std::string format_us(SimTime t);
+
+}  // namespace scc::trace

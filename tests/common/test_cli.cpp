@@ -16,9 +16,28 @@ TEST(Cli, EqualsForm) {
   EXPECT_EQ(flags.get_int("n", 0), 42);
 }
 
-TEST(Cli, SpaceForm) {
-  const auto flags = parse({"--n", "42"});
-  EXPECT_EQ(flags.get_int("n", 0), 42);
+// The space-separated value form is intentionally unsupported (the parser
+// cannot distinguish a boolean flag from a value flag without a registry):
+// a token after a bare flag stays a positional.
+TEST(Cli, BareFlagDoesNotSwallowPositional) {
+  const auto flags = parse({"--verbose", "input.dat"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  ASSERT_EQ(flags.positionals().size(), 1u);
+  EXPECT_EQ(flags.positionals()[0], "input.dat");
+}
+
+TEST(Cli, BareFlagBeforeNegativeNumber) {
+  // "--n -5" used to parse as n=true plus positional "-5" OR as n="-5"
+  // depending on the token's leading characters; now it is always the
+  // former, and asking for an integer fails loudly instead of returning 0.
+  const auto flags = parse({"--n", "-5"});
+  EXPECT_THROW(static_cast<void>(flags.get_int("n", 0)), std::runtime_error);
+  ASSERT_EQ(flags.positionals().size(), 1u);
+  EXPECT_EQ(flags.positionals()[0], "-5");
+}
+
+TEST(Cli, NegativeValueViaEquals) {
+  EXPECT_EQ(parse({"--n=-5"}).get_int("n", 0), -5);
 }
 
 TEST(Cli, BareBooleanFlag) {
@@ -48,6 +67,26 @@ TEST(Cli, DoubleParsing) {
 TEST(Cli, MalformedIntegerThrows) {
   const auto flags = parse({"--n=abc"});
   EXPECT_THROW(static_cast<void>(flags.get_int("n", 0)), std::runtime_error);
+}
+
+TEST(Cli, EmptyValueThrowsForNumbers) {
+  // "--n=" used to silently yield 0 (strtoll consumed nothing but left
+  // *end == '\0').
+  EXPECT_THROW(static_cast<void>(parse({"--n="}).get_int("n", 7)),
+               std::runtime_error);
+  EXPECT_THROW(static_cast<void>(parse({"--d="}).get_double("d", 7.0)),
+               std::runtime_error);
+}
+
+TEST(Cli, WhitespaceValueThrowsForNumbers) {
+  EXPECT_THROW(static_cast<void>(parse({"--n= "}).get_int("n", 7)),
+               std::runtime_error);
+  EXPECT_THROW(static_cast<void>(parse({"--d=\t"}).get_double("d", 7.0)),
+               std::runtime_error);
+}
+
+TEST(Cli, EmptyStringValueIsStillAString) {
+  EXPECT_EQ(parse({"--name="}).get("name", "dflt"), "");
 }
 
 TEST(Cli, MalformedBoolThrows) {

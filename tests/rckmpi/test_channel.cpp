@@ -201,6 +201,108 @@ TEST(Channel, DuplexFasterThanTwoBlockingTransfers) {
   EXPECT_LT(run_duplex(), run_serial());
 }
 
+// --- mod-256 counter wraparound ------------------------------------------
+//
+// The flow-control counters live in 8-bit MPB flags and wrap mod 256;
+// Channel::advance_counter folds them into 32-bit cumulative counts, which
+// is sound only while in-flight lines stay below 256 (ring_lines() <= 64).
+
+TEST(Channel, AdvanceCounterFoldsAcrossWrap) {
+  std::uint32_t counter = 250;
+  Channel::advance_counter(counter, static_cast<std::uint8_t>(260 & 0xFF));
+  EXPECT_EQ(counter, 260u);
+}
+
+TEST(Channel, AdvanceCounterEqualFlagIsNoop) {
+  std::uint32_t counter = 1000;  // 1000 mod 256 == 232
+  Channel::advance_counter(counter, 232);
+  EXPECT_EQ(counter, 1000u);
+}
+
+TEST(Channel, AdvanceCounterTracksManyWraps) {
+  std::uint32_t counter = 0;
+  std::uint32_t truth = 0;
+  // Cumulative increments of at most 64 lines (the ring cap): the folded
+  // counter must track the true count through a dozen 256-wraps.
+  for (int i = 0; i < 100; ++i) {
+    truth += static_cast<std::uint32_t>(1 + (i * 7) % 64);
+    Channel::advance_counter(counter, static_cast<std::uint8_t>(truth & 0xFF));
+    ASSERT_EQ(counter, truth);
+  }
+  EXPECT_GT(truth, 256u * 4);  // really crossed several wraps
+}
+
+sim::Task<> stream_send(machine::CoreApi& api, const ChannelLayout* layout,
+                        int dest, int messages, std::size_t bytes,
+                        bool* invariant_held) {
+  Channel channel(api, *layout);
+  for (int m = 0; m < messages; ++m) {
+    const auto data = pattern(bytes, m);
+    co_await channel.send(data, dest, m);
+    // tx_credits derives from lines_sent - lines_acked, both folded from
+    // the wrapped flag; it must never exceed the ring.
+    *invariant_held =
+        *invariant_held && channel.tx_credits(dest) <= layout->ring_lines();
+  }
+}
+
+sim::Task<> stream_recv(machine::CoreApi& api, const ChannelLayout* layout,
+                        int src, int messages, std::size_t bytes,
+                        bool* data_ok, bool* invariant_held) {
+  Channel channel(api, *layout);
+  for (int m = 0; m < messages; ++m) {
+    std::vector<std::byte> got(bytes);
+    co_await channel.recv(got, src, m);
+    *data_ok = *data_ok && got == pattern(bytes, m);
+    *invariant_held =
+        *invariant_held && channel.rx_available(src) <= layout->ring_lines();
+  }
+}
+
+/// Streams enough framed lines through ONE persistent channel pair that the
+/// cumulative counters wrap mod 256 several times; optional schedule
+/// perturbation (seed 0 = off) explores other interleavings of the same
+/// exchange.
+void run_wrap_stream(std::uint64_t perturb_seed, std::uint64_t max_delay_fs) {
+  // 224-byte payloads: 7 payload lines + 1 header = 8 lines per message;
+  // 40 messages = 320 cumulative lines > 256 (and > 2x for the acks).
+  constexpr int kMessages = 40;
+  constexpr std::size_t kBytes = 224;
+  Fixture f;
+  if (perturb_seed != 0) {
+    machine::SccConfig config;
+    config.tiles_x = 2;
+    config.tiles_y = 2;
+    config.flags_per_core = f.layout->flags_needed();
+    config.perturb_seed = perturb_seed;
+    config.perturb_max_delay_fs = max_delay_fs;
+    f.machine = std::make_unique<machine::SccMachine>(config);
+  }
+  bool tx_ok = true, rx_ok = true, data_ok = true;
+  f.machine->launch(0, stream_send(f.machine->core(0), f.layout.get(), 5,
+                                   kMessages, kBytes, &tx_ok));
+  f.machine->launch(5, stream_recv(f.machine->core(5), f.layout.get(), 0,
+                                   kMessages, kBytes, &data_ok, &rx_ok));
+  f.machine->run();
+  EXPECT_TRUE(tx_ok) << "tx_credits exceeded ring_lines (seed "
+                     << perturb_seed << ")";
+  EXPECT_TRUE(rx_ok) << "rx_available exceeded ring_lines (seed "
+                     << perturb_seed << ")";
+  EXPECT_TRUE(data_ok) << "payload corrupted across counter wrap (seed "
+                       << perturb_seed << ")";
+}
+
+TEST(Channel, CounterWrapUnperturbed) { run_wrap_stream(0, 0); }
+
+TEST(Channel, CounterWrapUnderPerturbation) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) run_wrap_stream(seed, 0);
+}
+
+TEST(Channel, CounterWrapUnderPerturbationWithDelays) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed)
+    run_wrap_stream(seed, 1'000'000);  // up to 1 ns injected per event
+}
+
 TEST(Channel, IncomingProbe) {
   Fixture f;
   struct P {
