@@ -78,5 +78,6 @@ int main(int argc, char** argv) {
             << "default configuration matches them.)\n";
   std::filesystem::create_directories("bench_results");
   table.write_csv_file("bench_results/abl_contention.csv");
+  table.write_json_file("bench_results/abl_contention.json", "abl_contention");
   return 0;
 }

@@ -84,5 +84,6 @@ int main(int argc, char** argv) {
             << "higher' expected on fixed silicon.\n";
   std::filesystem::create_directories("bench_results");
   table.write_csv_file("bench_results/abl_mpb_bug.csv");
+  table.write_json_file("bench_results/abl_mpb_bug.json", "abl_mpb_bug");
   return 0;
 }

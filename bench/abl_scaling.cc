@@ -77,5 +77,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::filesystem::create_directories("bench_results");
   table.write_csv_file("bench_results/abl_scaling.csv");
+  table.write_json_file("bench_results/abl_scaling.json", "abl_scaling");
   return 0;
 }

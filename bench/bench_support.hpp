@@ -4,34 +4,137 @@
 // are registered as google-benchmark instances whose *manual* time is the
 // simulated (virtual) latency -- the number the paper's y-axes show -- so
 // the standard benchmark output IS the figure data. After the benchmark
-// run, the collected series are also written as CSV (bench_results/) and
+// run, the collected series are also written as CSV and as an
+// "scc-bench-v1" JSON file (bench_results/) -- the JSON is what the
+// bench/compare regression gate diffs against a committed baseline -- and
 // printed as an aligned summary table.
 //
 // Environment knobs (the defaults keep every binary under ~a minute):
 //   SCC_BENCH_STEP  -- sweep step in elements (default: per-figure)
 //   SCC_BENCH_REPS  -- measured repetitions per point (default 2)
 //   SCC_BENCH_FROM / SCC_BENCH_TO -- sweep bounds (default 500..700)
+// Values must be well-formed non-negative integers; empty, trailing-garbage
+// or overflowing values abort with a clear error instead of being silently
+// read as 0 (a mistyped SCC_BENCH_TO=6OO must not quietly shrink a sweep).
+//
+// Instrumentation flags (stripped before google-benchmark sees argv):
+//   --metrics=<path> -- write a metrics snapshot of every point (prefixed
+//                       "point/<elements>/<variant>/") as scc-metrics-v1
+//   --blame          -- per variant, print the critical-path blame report
+//                       of the last swept point's final repetition
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <limits>
 #include <map>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/string_util.hpp"
 #include "common/table.hpp"
 #include "harness/runner.hpp"
+#include "metrics/blame.hpp"
+#include "metrics/collect.hpp"
+#include "metrics/registry.hpp"
+#include "trace/recorder.hpp"
 
 namespace scc::bench {
 
+[[noreturn]] inline void env_fail(const char* name, const char* value,
+                                  const char* expected) {
+  std::fprintf(stderr, "error: %s='%s' is not %s\n", name, value, expected);
+  std::exit(2);
+}
+
+/// Strict environment size parse: the whole value must be one non-negative
+/// decimal integer that fits std::size_t. Anything else (empty string,
+/// trailing garbage, sign, overflow) aborts with exit code 2.
 inline std::size_t env_size(const char* name, std::size_t fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr) return fallback;
-  return static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+  if (value[0] == '\0' || value[0] == '-' || value[0] == '+') {
+    env_fail(name, value, "a non-negative integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE ||
+      parsed > std::numeric_limits<std::size_t>::max()) {
+    env_fail(name, value, "a non-negative integer");
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+/// Strict environment double parse: the whole value must be one finite
+/// number; otherwise aborts with exit code 2.
+inline double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(parsed)) {
+    env_fail(name, value, "a finite number");
+  }
+  return parsed;
+}
+
+/// Instrumentation requested on the command line (see header comment).
+struct BenchOptions {
+  std::string metrics_path;  // empty: metrics collection off
+  bool blame = false;
+};
+
+inline BenchOptions& options() {
+  static BenchOptions instance;
+  return instance;
+}
+
+/// Merged per-point snapshots for --metrics.
+inline metrics::MetricsRegistry& merged_metrics() {
+  static metrics::MetricsRegistry instance;
+  return instance;
+}
+
+/// Last blame report per variant for --blame (the sweep's final point).
+inline std::map<std::string, std::string>& blame_reports() {
+  static std::map<std::string, std::string> instance;
+  return instance;
+}
+
+/// Strips --metrics=<path> and --blame from argv (google-benchmark rejects
+/// unknown flags) and records them in options().
+inline void parse_instrumentation_flags(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--metrics=", 0) == 0) {
+      options().metrics_path = std::string(arg.substr(10));
+      if (options().metrics_path.empty()) {
+        std::fprintf(stderr, "error: --metrics= needs a path\n");
+        std::exit(2);
+      }
+      continue;
+    }
+    if (arg == "--blame") {
+      options().blame = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
 }
 
 /// Collects (variant, size) -> latency points as benchmarks run, for the
@@ -95,10 +198,37 @@ inline void run_point(benchmark::State& state, harness::Collective coll,
   spec.repetitions = static_cast<int>(env_size("SCC_BENCH_REPS", 2));
   spec.warmup = 1;
   spec.verify = false;
+  spec.collect_metrics = !options().metrics_path.empty();
+  std::optional<trace::Recorder> recorder;
+  if (options().blame) {
+    recorder.emplace(/*capacity=*/std::size_t{1} << 20);
+    spec.trace = &*recorder;
+  }
   for (auto _ : state) {
     const harness::RunResult result = harness::run_collective(spec);
     state.SetIterationTime(result.mean_latency.seconds());
     collector().add(variant, elements, result.mean_latency.us());
+    if (result.metrics) {
+      merged_metrics().absorb(
+          *result.metrics,
+          strprintf("point/%zu/%s/", elements,
+                    std::string(harness::variant_name(variant)).c_str()));
+    }
+    if (recorder && !result.sample_windows.empty()) {
+      const auto [begin, end] = result.sample_windows.back();
+      const metrics::BlameReport report = metrics::analyze_blame(
+          *recorder, recorder->current_run(), /*terminal_core=*/0, begin,
+          end);
+      std::ostringstream ss;
+      ss << "--- " << harness::variant_name(variant) << " n=" << elements;
+      if (recorder->dropped() > 0) {
+        ss << " (trace dropped " << recorder->dropped()
+           << " events; attribution partial)";
+      }
+      ss << " ---\n";
+      report.print(ss);
+      blame_reports()[std::string(harness::variant_name(variant))] = ss.str();
+    }
   }
   state.counters["virtual_us"] =
       benchmark::Counter(collector().empty() ? 0.0 : 0.0);
@@ -110,6 +240,7 @@ inline void register_figure(const char* figure, harness::Collective coll,
   const std::size_t from = env_size("SCC_BENCH_FROM", 500);
   const std::size_t to = env_size("SCC_BENCH_TO", 700);
   const std::size_t step = env_size("SCC_BENCH_STEP", default_step);
+  if (step == 0) env_fail("SCC_BENCH_STEP", "0", "a positive integer");
   for (const harness::PaperVariant v : harness::variants_for(coll)) {
     for (std::size_t n = from; n <= to; n += step) {
       const std::string name =
@@ -127,10 +258,31 @@ inline void register_figure(const char* figure, harness::Collective coll,
   }
 }
 
-/// Runs the registered benchmarks, then dumps the series as a table and a
-/// CSV under bench_results/.
+/// Writes the collected series as CSV + scc-bench-v1 JSON under
+/// bench_results/ and dumps the requested instrumentation.
+inline void write_outputs(const char* figure, const Table& table) {
+  std::filesystem::create_directories("bench_results");
+  const std::string csv = std::string("bench_results/") + figure + ".csv";
+  table.write_csv_file(csv);
+  const std::string json = std::string("bench_results/") + figure + ".json";
+  table.write_json_file(json, figure);
+  std::cout << "\nseries written to " << csv << " and " << json << '\n';
+  if (!options().metrics_path.empty()) {
+    merged_metrics().set_label(figure);
+    merged_metrics().write_json_file(options().metrics_path);
+    std::cout << "metrics snapshot written to " << options().metrics_path
+              << '\n';
+  }
+  for (const auto& [variant, report] : blame_reports()) {
+    std::cout << '\n' << report;
+  }
+}
+
+/// Runs the registered benchmarks, then dumps the series as a table, a CSV
+/// and a JSON under bench_results/.
 inline int figure_main(int argc, char** argv, const char* figure,
                        harness::Collective coll) {
+  parse_instrumentation_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -146,10 +298,7 @@ inline int figure_main(int argc, char** argv, const char* figure,
     std::cout << "  " << harness::variant_name(v) << ": "
               << strprintf("%.2fx", collector().mean_speedup(v)) << '\n';
   }
-  std::filesystem::create_directories("bench_results");
-  const std::string csv = std::string("bench_results/") + figure + ".csv";
-  table.write_csv_file(csv);
-  std::cout << "\nseries written to " << csv << '\n';
+  write_outputs(figure, table);
   return 0;
 }
 

@@ -82,6 +82,7 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::filesystem::create_directories("bench_results");
   table.write_csv_file("bench_results/fig10_gcmc_app.csv");
+  table.write_json_file("bench_results/fig10_gcmc_app.json", "fig10_gcmc_app");
   std::cout << "\nseries written to bench_results/fig10_gcmc_app.csv\n";
   return 0;
 }

@@ -9,13 +9,17 @@
 //   perturb_soak --rounds=200 --seeds=32 --master-seed=1
 //   perturb_soak --collective=allreduce --delay-fs=2000000 --verbose
 //   perturb_soak --rounds=1 --master-seed=7 --trace=replay.json
+//   perturb_soak --rounds=1 --metrics=soak_metrics.json
 //
 // Every round is fully determined by (--master-seed, round index): a failed
 // round can be reproduced alone via --rounds=1 --master-seed=<reported>,
 // and --trace=<path> records every simulation of the soak (baselines and
 // perturbed replays, each as its own run scope) into one chrome://tracing
 // file -- the recorder's capacity bounds memory, so long soaks simply stop
-// recording and report the drop count.
+// recording and report the drop count. --metrics=<path> writes the metrics
+// snapshot of the last round's reference baseline (the run every perturbed
+// replay was diffed against) as scc-metrics-v1 JSON; the seed-invariance
+// diff of snapshots itself runs on every round regardless.
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -65,6 +69,7 @@ int main(int argc, char** argv) {
     const std::string collective_flag = flags.get("collective", "all");
     const bool verbose = flags.get_bool("verbose", false);
     const std::string trace_path = flags.get("trace", "");
+    const std::string metrics_path = flags.get("metrics", "");
     for (const std::string& name : flags.unconsumed()) {
       std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
       return 2;
@@ -96,6 +101,7 @@ int main(int argc, char** argv) {
 
     std::optional<scc::trace::Recorder> recorder;
     if (!trace_path.empty()) recorder.emplace();
+    std::optional<scc::metrics::MetricsRegistry> last_metrics;
 
     long total_runs = 0;
     long failed_rounds = 0;
@@ -128,6 +134,7 @@ int main(int argc, char** argv) {
       const scc::harness::ConformanceReport report =
           scc::harness::run_conformance(spec);
       total_runs += report.runs;
+      if (report.baseline_metrics) last_metrics = report.baseline_metrics;
       if (!report.passed()) {
         ++failed_rounds;
         std::fprintf(stderr, "round %ld (master-seed %llu): %s\n", round,
@@ -143,6 +150,15 @@ int main(int argc, char** argv) {
       std::printf("trace written to %s (%zu events, %llu dropped)\n",
                   trace_path.c_str(), recorder->events().size(),
                   static_cast<unsigned long long>(recorder->dropped()));
+    }
+    if (!metrics_path.empty()) {
+      if (!last_metrics) {
+        std::fprintf(stderr, "--metrics: no baseline run produced a snapshot\n");
+        return 2;
+      }
+      last_metrics->write_json_file(metrics_path);
+      std::printf("metrics snapshot written to %s (%zu paths)\n",
+                  metrics_path.c_str(), last_metrics->size());
     }
     std::printf("perturb_soak: %ld rounds, %ld simulations, %ld failed\n",
                 rounds, total_runs, failed_rounds);

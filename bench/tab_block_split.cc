@@ -65,5 +65,6 @@ int main(int argc, char** argv) {
       worst_std, worst_bal);
   std::filesystem::create_directories("bench_results");
   table.write_csv_file("bench_results/tab_block_split.csv");
+  table.write_json_file("bench_results/tab_block_split.json", "tab_block_split");
   return 0;
 }

@@ -97,5 +97,6 @@ int main(int argc, char** argv) {
       best, at);
   std::filesystem::create_directories("bench_results");
   table.write_csv_file("bench_results/tab_speedups.csv");
+  table.write_json_file("bench_results/tab_speedups.json", "tab_speedups");
   return 0;
 }

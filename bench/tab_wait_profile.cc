@@ -3,6 +3,10 @@
 // Reports the per-phase time breakdown (max and mean over the 48 cores)
 // for an Allreduce under each variant, plus the GCMC application's
 // blocking-stack profile.
+//
+// Besides the shared --metrics=<path> / --blame instrumentation flags
+// (bench_support.hpp), --trace=<path> records every profiled run into one
+// chrome://tracing file (one run scope per variant).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -16,9 +20,10 @@
 
 namespace {
 
-/// --trace=<path>: when set, every profiled Allreduce run is also recorded
-/// into one chrome://tracing file (one run scope per variant).
 scc::trace::Recorder* g_trace = nullptr;
+// With --trace= the recorder accumulates every variant into one file; with
+// --blame alone each variant gets the full capacity to itself.
+bool g_keep_trace = false;
 
 using scc::machine::CoreProfile;
 using scc::machine::Phase;
@@ -55,7 +60,7 @@ Breakdown analyze(const std::vector<CoreProfile>& profiles) {
   return b;
 }
 
-std::vector<CoreProfile> allreduce_profiles(PaperVariant v) {
+scc::harness::RunResult allreduce_run(PaperVariant v) {
   scc::harness::RunSpec spec;
   spec.collective = scc::harness::Collective::kAllreduce;
   spec.variant = v;
@@ -64,22 +69,45 @@ std::vector<CoreProfile> allreduce_profiles(PaperVariant v) {
   spec.warmup = 1;
   spec.verify = false;
   spec.collect_profiles = true;
+  spec.collect_metrics = !scc::bench::options().metrics_path.empty();
   spec.trace = g_trace;
-  return scc::harness::run_collective(spec).profiles;
+  return scc::harness::run_collective(spec);
 }
 
 void bench_profile(benchmark::State& state, PaperVariant v,
                    Breakdown* out) {
   for (auto _ : state) {
-    const auto profiles = allreduce_profiles(v);
-    *out = analyze(profiles);
-    state.SetIterationTime(profiles[0].total().seconds());
+    if (g_trace != nullptr && !g_keep_trace) g_trace->clear();
+    const auto result = allreduce_run(v);
+    *out = analyze(result.profiles);
+    state.SetIterationTime(result.profiles[0].total().seconds());
+    const std::string variant{scc::harness::variant_name(v)};
+    if (result.metrics) {
+      scc::bench::merged_metrics().absorb(*result.metrics,
+                                          "profile/" + variant + "/");
+    }
+    if (scc::bench::options().blame && g_trace != nullptr &&
+        !result.sample_windows.empty()) {
+      const auto [begin, end] = result.sample_windows.back();
+      const scc::metrics::BlameReport report = scc::metrics::analyze_blame(
+          *g_trace, g_trace->current_run(), /*terminal_core=*/0, begin, end);
+      std::ostringstream ss;
+      ss << "--- " << variant << " n=552";
+      if (g_trace->dropped() > 0) {
+        ss << " (trace dropped " << g_trace->dropped()
+           << " events; attribution partial)";
+      }
+      ss << " ---\n";
+      report.print(ss);
+      scc::bench::blame_reports()[variant] = ss.str();
+    }
   }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  scc::bench::parse_instrumentation_flags(argc, argv);
   // Pull our own --trace= flag out of argv before google-benchmark sees it.
   std::string trace_path;
   int kept = 1;
@@ -92,8 +120,11 @@ int main(int argc, char** argv) {
     }
   }
   argc = kept;
-  static scc::trace::Recorder recorder;
-  if (!trace_path.empty()) g_trace = &recorder;
+  static scc::trace::Recorder recorder(/*capacity=*/std::size_t{1} << 20);
+  if (!trace_path.empty() || scc::bench::options().blame) {
+    g_trace = &recorder;  // --blame replays the recorded intervals
+    g_keep_trace = !trace_path.empty();
+  }
 
   const PaperVariant variants[] = {PaperVariant::kBlocking,
                                    PaperVariant::kIrcce,
@@ -145,9 +176,8 @@ int main(int argc, char** argv) {
       "\nGCMC application, blocking stack: wait max %.0f%% / mean %.0f%% of "
       "core time (paper: up to 50%%)\n",
       b.wait_max_pct, b.wait_mean_pct);
-  std::filesystem::create_directories("bench_results");
-  table.write_csv_file("bench_results/tab_wait_profile.csv");
-  if (g_trace) {
+  scc::bench::write_outputs("tab_wait_profile", table);
+  if (!trace_path.empty()) {
     scc::trace::write_chrome_json_file(recorder, trace_path);
     std::cout << "trace written to " << trace_path << " ("
               << recorder.events().size() << " events, " << recorder.dropped()

@@ -9,9 +9,13 @@
 //                           mpb|rckmpi]
 //                         [--elements=N] [--reps=K] [--mesh=6x4] [--no-bug]
 //                         [--profile] [--trace=out.json]
+//                         [--metrics=out.json] [--blame]
 //
 // --trace writes a chrome://tracing / Perfetto timeline of the run (plus
 // <path>.links.csv with per-link utilization when contention is modeled).
+// --metrics writes the full counter snapshot (scc-metrics-v1 JSON); --blame
+// prints the critical-path blame report of the last measured repetition
+// (which phases on which cores/links the end-to-end latency is spent in).
 #include <cstdio>
 #include <exception>
 #include <iostream>
@@ -21,6 +25,7 @@
 #include "common/string_util.hpp"
 #include "common/table.hpp"
 #include "harness/runner.hpp"
+#include "metrics/blame.hpp"
 #include "trace/chrome_export.hpp"
 
 namespace {
@@ -68,9 +73,12 @@ int main(int argc, char** argv) {
       spec.config.cost.hw.mpb_bug_workaround = false;
     }
     const std::string trace_path = flags.get("trace", "");
+    const std::string metrics_path = flags.get("metrics", "");
+    const bool blame = flags.get_bool("blame", false);
+    spec.collect_metrics = !metrics_path.empty();
     std::optional<trace::Recorder> recorder;
-    if (!trace_path.empty()) {
-      recorder.emplace();
+    if (!trace_path.empty() || blame) {  // blame replays the trace intervals
+      recorder.emplace(/*capacity=*/std::size_t{1} << 20);
       spec.trace = &*recorder;
     }
 
@@ -88,12 +96,31 @@ int main(int argc, char** argv) {
     std::printf("  verified     : %s\n", result.verified ? "yes" : "skipped");
     std::printf("  sim events   : %llu\n",
                 static_cast<unsigned long long>(result.events));
-    if (recorder) {
+    if (recorder && !trace_path.empty()) {
       trace::write_chrome_json_file(*recorder, trace_path);
       trace::write_link_csv_file(*recorder, trace_path + ".links.csv");
       std::printf("  trace        : %s (%zu events, %llu dropped)\n",
                   trace_path.c_str(), recorder->events().size(),
                   static_cast<unsigned long long>(recorder->dropped()));
+    }
+    if (result.metrics) {
+      result.metrics->write_json_file(metrics_path);
+      std::printf("  metrics      : %s (%zu paths)\n", metrics_path.c_str(),
+                  result.metrics->size());
+    }
+    if (blame && !result.sample_windows.empty()) {
+      const auto [begin, end] = result.sample_windows.back();
+      if (recorder->dropped() > 0) {
+        std::printf(
+            "\nwarning: trace dropped %llu events; blame attribution is "
+            "partial (unattributed time shows as idle)\n",
+            static_cast<unsigned long long>(recorder->dropped()));
+      }
+      const metrics::BlameReport report = metrics::analyze_blame(
+          *recorder, recorder->current_run(), /*terminal_core=*/0, begin,
+          end);
+      std::printf("\n");
+      report.print(std::cout);
     }
 
     if (spec.collect_profiles) {
@@ -112,6 +139,30 @@ int main(int argc, char** argv) {
                         .c_str(),
                     sum / static_cast<double>(result.profiles.size()) * 100.0);
       }
+      // Chip-wide private-memory cache behaviour for the same run.
+      mem::CacheStats cache;
+      std::uint64_t peak_misses = 0;
+      for (const mem::CacheStats& c : result.cache_stats) {
+        cache.hits += c.hits;
+        cache.misses += c.misses;
+        cache.writebacks += c.writebacks;
+        cache.uncached_writes += c.uncached_writes;
+        peak_misses = std::max(peak_misses, c.misses);
+      }
+      const double accesses = static_cast<double>(cache.hits + cache.misses);
+      std::printf("\nprivate-memory cache (all cores):\n");
+      std::printf("  hits / misses : %llu / %llu (%.1f%% hit rate)\n",
+                  static_cast<unsigned long long>(cache.hits),
+                  static_cast<unsigned long long>(cache.misses),
+                  accesses > 0.0
+                      ? 100.0 * static_cast<double>(cache.hits) / accesses
+                      : 0.0);
+      std::printf("  writebacks    : %llu\n",
+                  static_cast<unsigned long long>(cache.writebacks));
+      std::printf("  uncached wr   : %llu\n",
+                  static_cast<unsigned long long>(cache.uncached_writes));
+      std::printf("  worst core    : %llu misses\n",
+                  static_cast<unsigned long long>(peak_misses));
     }
     return 0;
   } catch (const std::exception& e) {

@@ -22,6 +22,57 @@ std::string csv_escape(const std::string& cell) {
   return out;
 }
 
+// A cell holding a complete JSON number (stricter than strtod: no inf/nan/
+// hex), so it can be emitted into the JSON document verbatim.
+bool is_json_number(const std::string& cell) {
+  std::size_t i = 0;
+  const auto digits = [&] {
+    std::size_t n = 0;
+    while (i < cell.size() && cell[i] >= '0' && cell[i] <= '9') {
+      ++i;
+      ++n;
+    }
+    return n;
+  };
+  if (i < cell.size() && cell[i] == '-') ++i;
+  if (digits() == 0) return false;
+  if (i < cell.size() && cell[i] == '.') {
+    ++i;
+    if (digits() == 0) return false;
+  }
+  if (i < cell.size() && (cell[i] == 'e' || cell[i] == 'E')) {
+    ++i;
+    if (i < cell.size() && (cell[i] == '+' || cell[i] == '-')) ++i;
+    if (digits() == 0) return false;
+  }
+  return i == cell.size();
+}
+
+// Local copy of the JSON string escape (scc_common sits below scc_metrics
+// in the layering, so it cannot use metrics/json.hpp).
+std::string json_cell_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
@@ -71,6 +122,35 @@ void Table::write_csv_file(const std::string& path) const {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open for writing: " + path);
   write_csv(out);
+}
+
+void Table::write_json(std::ostream& os, const std::string& name) const {
+  os << "{\n  \"schema\": \"scc-bench-v1\",\n  \"name\": \""
+     << json_cell_escape(name) << "\",\n  \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r == 0 ? "" : ",") << "\n    {";
+    const auto& row = rows_[r];
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ", ") << '"' << json_cell_escape(header_[c])
+         << "\": ";
+      if (row[c].empty()) {
+        os << "null";
+      } else if (is_json_number(row[c])) {
+        os << row[c];
+      } else {
+        os << '"' << json_cell_escape(row[c]) << '"';
+      }
+    }
+    os << '}';
+  }
+  os << "\n  ]\n}\n";
+}
+
+void Table::write_json_file(const std::string& path,
+                            const std::string& name) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_json(out, name);
 }
 
 }  // namespace scc

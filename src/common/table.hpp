@@ -29,6 +29,13 @@ class Table {
   /// failure to open.
   void write_csv_file(const std::string& path) const;
 
+  /// Writes the "scc-bench-v1" JSON document bench/compare consumes: one
+  /// object per row keyed by the header names. Cells that are valid JSON
+  /// numbers are emitted as numbers, empty cells as null, the rest as
+  /// strings.
+  void write_json(std::ostream& os, const std::string& name) const;
+  void write_json_file(const std::string& path, const std::string& name) const;
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

@@ -27,6 +27,7 @@ RunSpec base_run_spec(const ConformanceSpec& spec, coll::Prims prims) {
   run.seed = spec.engine_seed;
   run.verify = true;  // every run is also checked against the serial model
   run.capture_outputs = true;
+  run.collect_metrics = spec.compare_metrics;
   run.split_override = spec.split;
   run.trace = spec.trace;
   run.config.tiles_x = spec.tiles_x;
@@ -113,6 +114,7 @@ ConformanceReport run_conformance(const ConformanceSpec& spec) {
       if (!diff.empty()) record(std::nullopt, "cross-stack mismatch: " + diff);
     } else {
       reference = baseline->outputs;
+      if (baseline->metrics) report.baseline_metrics = *baseline->metrics;
     }
 
     for (int k = 0; k < spec.perturb_seeds; ++k) {
@@ -139,6 +141,18 @@ ConformanceReport run_conformance(const ConformanceSpec& spec) {
                                perturbed.line_hops),
                            static_cast<unsigned long long>(
                                baseline->line_hops)));
+        }
+        if (spec.compare_metrics && baseline->metrics && perturbed.metrics) {
+          const std::vector<std::string> drift =
+              metrics::MetricsRegistry::diff_invariant(*baseline->metrics,
+                                                       *perturbed.metrics);
+          if (!drift.empty()) {
+            // One failure per seed, leading with the first drifted counter
+            // (a real bug typically drifts dozens of paths at once).
+            record(pseed,
+                   strprintf("metric drift (%zu path(s)): %s", drift.size(),
+                             drift.front().c_str()));
+          }
         }
       } catch (const std::exception& e) {
         // Deadlock or serial-reference verification failure under this

@@ -12,9 +12,13 @@
 //   1. element-wise results: every perturbed run must match the stack's
 //      unperturbed baseline, and the three stacks' baselines must match
 //      each other bit-for-bit (plus the harness's serial-reference check);
-//   2. traffic-volume invariants: total cache-line transfers and line-hops
-//      (noc::TrafficMatrix) are properties of the algorithm, not of the
-//      schedule, so they must be identical across perturbation seeds;
+//   2. volume-type counter invariants: total cache-line transfers and
+//      line-hops (noc::TrafficMatrix), and -- via the full metrics snapshot
+//      (metrics/collect.hpp) -- cache hits/misses/writebacks, MPB footprint
+//      high-water marks, flag deposits and per-link window counts are
+//      properties of the algorithm, not of the schedule, so they must be
+//      identical across perturbation seeds (time-type counters like queue
+//      delays and poll counts may legitimately drift);
 //   3. absence of deadlock: a perturbed interleaving that wedges the
 //      protocol is reported, not hung (the engine detects queue drain).
 //
@@ -51,6 +55,11 @@ struct ConformanceSpec {
   bool model_contention = false;
   int repetitions = 1;
   int warmup = 0;
+  /// Diffs the seed-invariant (volume-type) half of every perturbed run's
+  /// metrics snapshot against the stack's unperturbed baseline. On by
+  /// default: it subsumes the traffic-drift check and costs one snapshot
+  /// per run.
+  bool compare_metrics = true;
   /// When non-null, every run (baselines and perturbed replays) is traced
   /// into this recorder, each as its own run scope -- useful to visually
   /// compare the interleaving a failing perturbation seed produced.
@@ -74,6 +83,10 @@ struct ConformanceReport {
   std::string configuration;
   int runs = 0;  // simulations executed (3 stacks x (1 baseline + K))
   std::vector<ConformanceFailure> failures;
+  /// Full metrics snapshot of the first stack's unperturbed baseline (the
+  /// run every other run is diffed against); populated when
+  /// spec.compare_metrics. Lets soak drivers export what was checked.
+  std::optional<metrics::MetricsRegistry> baseline_metrics;
 
   [[nodiscard]] bool passed() const { return failures.empty(); }
   /// Human-readable multi-line summary; lists every failure's replay line.

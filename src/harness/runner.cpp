@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "common/string_util.hpp"
 #include "machine/scc_machine.hpp"
+#include "metrics/collect.hpp"
 #include "rckmpi/mpi.hpp"
 
 namespace scc::harness {
@@ -19,10 +20,19 @@ namespace {
 
 constexpr int kRoot = 0;  // root used by Reduce/Broadcast experiments
 
+/// Shared by the trace run scope and the metrics snapshot label.
+std::string run_label(const RunSpec& spec) {
+  return strprintf("%s/%s n=%zu",
+                   std::string(collective_name(spec.collective)).c_str(),
+                   std::string(variant_name(spec.variant)).c_str(),
+                   spec.elements);
+}
+
 struct CoreData {
   aligned_vector<double> in;
   aligned_vector<double> out;
   std::vector<SimTime> samples;  // filled by rank 0
+  std::vector<std::pair<SimTime, SimTime>> windows;  // rank 0, absolute
   int owned_block = -1;          // ReduceScatter result block
   std::vector<std::size_t> agv_counts;  // Allgatherv per-core counts
 };
@@ -191,6 +201,7 @@ sim::Task<> core_program(machine::CoreApi& api, const rcce::Layout& layout,
     }
     if (api.rank() == 0 && rep >= spec.warmup) {
       data.samples.push_back(api.now() - start);
+      data.windows.emplace_back(start, api.now());
     }
   }
   co_await api.sync_barrier();
@@ -352,9 +363,7 @@ RunResult run_collective(const RunSpec& spec) {
   config.flags_per_core = std::max(config.flags_per_core, flags_needed);
   machine::SccMachine machine(config);
   if (spec.trace) {
-    spec.trace->begin_run(strprintf(
-        "%s/%s n=%zu", std::string(collective_name(spec.collective)).c_str(),
-        std::string(variant_name(spec.variant)).c_str(), spec.elements));
+    spec.trace->begin_run(run_label(spec));
     machine.attach_trace(spec.trace);
   }
 
@@ -409,6 +418,7 @@ RunResult run_collective(const RunSpec& spec) {
   result.events = machine.engine().events_processed();
   result.lines_sent = machine.traffic().total_lines_sent();
   result.line_hops = machine.traffic().total_line_hops();
+  result.sample_windows = data[0].windows;
   if (spec.capture_outputs) {
     result.outputs.reserve(static_cast<std::size_t>(p));
     for (int r = 0; r < p; ++r) {
@@ -418,8 +428,28 @@ RunResult run_collective(const RunSpec& spec) {
   }
   if (spec.collect_profiles) {
     result.profiles.reserve(static_cast<std::size_t>(p));
-    for (int r = 0; r < p; ++r)
+    result.cache_stats.reserve(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
       result.profiles.push_back(machine.core(r).profile());
+      result.cache_stats.push_back(machine.cache(r).stats());
+    }
+  }
+  if (spec.collect_metrics) {
+    result.metrics.emplace();
+    result.metrics->set_label(run_label(spec));
+    metrics::collect_machine(machine, *result.metrics);
+    if (mpi_layout) {
+      metrics::collect_channel(mpi_layout->stats(), *result.metrics);
+    }
+    result.metrics->set_time("run/mean_latency_fs", result.mean_latency);
+    result.metrics->set_time("run/min_latency_fs", result.min_latency);
+    result.metrics->set_time("run/max_latency_fs", result.max_latency);
+    result.metrics->set("run/repetitions",
+                        static_cast<std::uint64_t>(spec.repetitions));
+    result.metrics->set("run/lines_sent", result.lines_sent,
+                        metrics::Unit::kCount, /*invariant=*/true);
+    result.metrics->set("run/line_hops", result.line_hops,
+                        metrics::Unit::kCount, /*invariant=*/true);
   }
   return result;
 }

@@ -7,12 +7,15 @@
 #include <cstdint>
 #include <optional>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "coll/block_split.hpp"
 #include "coll/stack.hpp"
 #include "machine/config.hpp"
 #include "machine/profile.hpp"
+#include "mem/cache.hpp"
+#include "metrics/registry.hpp"
 #include "rcce/rcce.hpp"
 #include "trace/recorder.hpp"
 
@@ -84,6 +87,11 @@ struct RunSpec {
   std::uint64_t seed = 42;
   bool verify = true;          // compare against a serial reference
   bool collect_profiles = false;
+  /// When true, RunResult carries a full MetricsRegistry snapshot of every
+  /// counter the machine produced (see metrics/collect.hpp for the path
+  /// schema). Purely observational: collection happens after the simulation
+  /// and never changes timing.
+  bool collect_metrics = false;
   /// When true, RunResult carries a copy of every core's final output
   /// buffer (differential checkers compare them across stacks and seeds).
   bool capture_outputs = false;
@@ -107,7 +115,15 @@ struct RunResult {
   std::uint64_t lines_sent = 0;  // end-to-end MPB cache-line transfers
   std::uint64_t line_hops = 0;   // sum over links (volume x distance)
   std::vector<machine::CoreProfile> profiles;  // when collect_profiles
+  /// Per-core private-memory cache counters (when collect_profiles).
+  std::vector<mem::CacheStats> cache_stats;
   std::vector<std::vector<double>> outputs;    // when capture_outputs
+  /// Absolute [start, end] of each measured repetition on core 0 -- the
+  /// windows the latencies are sampled from; feed one to
+  /// metrics::analyze_blame together with the run's trace.
+  std::vector<std::pair<SimTime, SimTime>> sample_windows;
+  /// Full counter snapshot (when collect_metrics).
+  std::optional<metrics::MetricsRegistry> metrics;
 };
 
 /// Runs the experiment on a fresh machine. Throws std::runtime_error on

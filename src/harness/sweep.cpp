@@ -82,7 +82,15 @@ SweepResult run_sweep(const SweepSpec& spec) {
       run.verify = spec.verify;
       run.trace = spec.trace;
       run.config = spec.config;
-      point.latency_us.push_back(run_collective(run).mean_latency.us());
+      run.collect_metrics = spec.collect_metrics;
+      const RunResult rr = run_collective(run);
+      point.latency_us.push_back(rr.mean_latency.us());
+      if (rr.metrics) {
+        result.metrics.absorb(
+            *rr.metrics,
+            strprintf("point/%zu/%s/", n,
+                      std::string(variant_name(v)).c_str()));
+      }
     }
     result.points.push_back(std::move(point));
   }

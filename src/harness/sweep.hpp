@@ -26,6 +26,9 @@ struct SweepSpec {
   /// When non-null, every (size, variant) run is traced into this recorder
   /// as its own run scope (one trace file can hold the whole sweep).
   trace::Recorder* trace = nullptr;
+  /// When true, SweepResult::metrics holds every point's counter snapshot,
+  /// each under the prefix "point/<elements>/<variant>/".
+  bool collect_metrics = false;
 };
 
 struct SweepPoint {
@@ -36,6 +39,9 @@ struct SweepPoint {
 struct SweepResult {
   std::vector<PaperVariant> variants;
   std::vector<SweepPoint> points;
+  /// All points' snapshots (when SweepSpec::collect_metrics), prefixed
+  /// "point/<elements>/<variant>/".
+  metrics::MetricsRegistry metrics;
 
   /// Mean over the sweep of (blocking latency / variant latency) -- the
   /// paper's "average speedup relative to the RCCE_comm baseline".

@@ -20,11 +20,13 @@ const mem::CostModel& CoreApi::cost() const {
   return machine_->config().cost;
 }
 
-sim::Task<> CoreApi::charge_impl(Phase phase, SimTime duration) {
+sim::Task<> CoreApi::charge_impl(Phase phase, SimTime duration,
+                                 std::string detail) {
   profile_.add(phase, duration);
   if (auto* trace = machine_->trace()) {
     const SimTime start = now();
-    trace->interval(rank_, phase_name(phase), start, start + duration);
+    trace->interval(rank_, phase_name(phase), start, start + duration,
+                    std::move(detail));
   }
   co_await machine_->engine().sleep_for(duration);
 }
@@ -37,6 +39,14 @@ sim::Task<> CoreApi::compute(std::uint64_t core_cycles) {
 sim::Task<> CoreApi::overhead(std::uint64_t core_cycles) {
   return charge_impl(Phase::kSwOverhead,
                      machine_->latency().core_cycles(core_cycles));
+}
+
+sim::Task<> CoreApi::wait_poll(std::uint64_t core_cycles,
+                               std::uint64_t after_cycles) {
+  const auto& latency = machine_->latency();
+  return charge_impl(Phase::kFlagWait,
+                     latency.core_cycles(after_cycles + core_cycles) -
+                         latency.core_cycles(after_cycles));
 }
 
 sim::Task<> CoreApi::charge(Phase phase, SimTime duration) {
@@ -136,7 +146,14 @@ sim::Task<> CoreApi::flag_set(FlagRef ref, FlagValue value) {
                                           /*is_read=*/false) +
       machine_->latency().core_cycles(cost().sw.flag_op);
   t += contention_delay(rank_, ref.owner_core, 1);
-  co_await charge_impl(Phase::kFlagOp, t);
+  // The deposit lands at the END of this charge; the "set c:i" detail lets
+  // the blame engine pair a waiter's wakeup with the setting core (the
+  // waiter's wait interval ends exactly when this interval does).
+  std::string detail;
+  if (machine_->trace() != nullptr) {
+    detail = strprintf("set %d:%d", ref.owner_core, ref.index);
+  }
+  co_await charge_impl(Phase::kFlagOp, t, std::move(detail));
   machine_->flags().deposit(ref, value);
 }
 
@@ -151,12 +168,13 @@ sim::Task<> CoreApi::flag_wait(FlagRef ref, FlagValue value) {
     trace->interval(rank_, phase_name(Phase::kFlagWait), start, now(),
                     strprintf("flag %d:%d", ref.owner_core, ref.index));
   }
-  // The read that detects the value.
+  // The read that detects the value: the final poll iteration of
+  // wait_until, so it profiles as wait time, not as a standalone flag op.
   const SimTime t =
       machine_->latency().mpb_line_access(rank_, ref.owner_core,
                                           /*is_read=*/true) +
       machine_->latency().core_cycles(cost().sw.flag_op);
-  co_await charge_impl(Phase::kFlagOp, t);
+  co_await charge_impl(Phase::kFlagWait, t);
 }
 
 sim::Task<FlagValue> CoreApi::flag_wait_change(FlagRef ref,
@@ -175,7 +193,7 @@ sim::Task<FlagValue> CoreApi::flag_wait_change(FlagRef ref,
       machine_->latency().mpb_line_access(rank_, ref.owner_core,
                                           /*is_read=*/true) +
       machine_->latency().core_cycles(cost().sw.flag_op);
-  co_await charge_impl(Phase::kFlagOp, t);
+  co_await charge_impl(Phase::kFlagWait, t);
   co_return machine_->flags().value(ref);
 }
 

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <span>
+#include <string>
 
 #include "common/time.hpp"
 #include "machine/flags.hpp"
@@ -50,6 +51,14 @@ class CoreApi {
   [[nodiscard]] sim::Task<> compute(std::uint64_t core_cycles);
   /// Library instruction-path overhead: n core cycles.
   [[nodiscard]] sim::Task<> overhead(std::uint64_t core_cycles);
+  /// Busy poll-loop cycles inside rcce_wait_until-style spin waits, charged
+  /// to Phase::kFlagWait: a function-level profiler attributes them to the
+  /// wait primitive even when the flag is already up (paper Section IV-A).
+  /// `after_cycles` names the preceding same-site charge: the poll duration
+  /// is computed as cycles(after + poll) - cycles(after) so a split charge
+  /// pair sums bit-exactly to the unsplit total (Clock::cycles rounds).
+  [[nodiscard]] sim::Task<> wait_poll(std::uint64_t core_cycles,
+                                      std::uint64_t after_cycles = 0);
   /// Raw charge attributed to an explicit phase.
   [[nodiscard]] sim::Task<> charge(Phase phase, SimTime duration);
 
@@ -79,8 +88,9 @@ class CoreApi {
   // --- synchronization flags -------------------------------------------
   /// Writes a flag value (local or remote MPB write + fence).
   [[nodiscard]] sim::Task<> flag_set(FlagRef ref, FlagValue value);
-  /// Blocks until the flag equals `value`; charges the detecting read.
-  /// Wait time is attributed to Phase::kFlagWait (rcce_wait_until).
+  /// Blocks until the flag equals `value`; charges the detecting read (the
+  /// final poll iteration). Wait time and the detecting read are both
+  /// attributed to Phase::kFlagWait (rcce_wait_until).
   [[nodiscard]] sim::Task<> flag_wait(FlagRef ref, FlagValue value);
   /// Blocks until the flag differs from `last_seen`; returns the new value
   /// and charges the detecting read. Used for cumulative-counter flags
@@ -99,7 +109,11 @@ class CoreApi {
   [[nodiscard]] sim::Task<> sync_barrier();
 
  private:
-  [[nodiscard]] sim::Task<> charge_impl(Phase phase, SimTime duration);
+  /// `detail` annotates the traced interval (e.g. "set 3:7" on the flag-set
+  /// charge so the blame engine can match waiters to their setter); empty
+  /// detail keeps the old behaviour.
+  [[nodiscard]] sim::Task<> charge_impl(Phase phase, SimTime duration,
+                                        std::string detail = {});
   /// Extra queueing delay from the optional link-contention model.
   [[nodiscard]] SimTime contention_delay(int from, int to, std::size_t bytes);
 

@@ -14,12 +14,16 @@ FlagFile::FlagFile(sim::Engine& engine, int num_cores, int flags_per_core)
 void FlagFile::deposit(FlagRef ref, FlagValue v) {
   Slot& s = slot(ref);
   s.value = v;
+  ++stats_.sets;
+  stats_.wakeups += s.queue.waiter_count();
   s.queue.notify_all();
 }
 
 FlagValue FlagFile::deposit_add(FlagRef ref, FlagValue delta) {
   Slot& s = slot(ref);
   s.value = static_cast<FlagValue>(s.value + delta);
+  ++stats_.sets;
+  stats_.wakeups += s.queue.waiter_count();
   s.queue.notify_all();
   return s.value;
 }

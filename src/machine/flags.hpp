@@ -24,11 +24,22 @@ struct FlagRef {
   int index = 0;
 };
 
+/// Cumulative flag-traffic counters. `sets` is volume-type (one per
+/// protocol deposit, schedule-invariant); `polls` and `wakeups` are
+/// time-type (wait re-checks and notify fan-out depend on the
+/// interleaving, so they may drift under schedule perturbation).
+struct FlagStats {
+  std::uint64_t sets = 0;     // deposits (including deposit_add)
+  std::uint64_t polls = 0;    // value() reads (wait re-checks, probes, peeks)
+  std::uint64_t wakeups = 0;  // waiters resumed by deposits
+};
+
 class FlagFile {
  public:
   FlagFile(sim::Engine& engine, int num_cores, int flags_per_core);
 
   [[nodiscard]] FlagValue value(FlagRef ref) const {
+    ++stats_.polls;
     return slot(ref).value;
   }
 
@@ -45,6 +56,7 @@ class FlagFile {
   }
 
   [[nodiscard]] int flags_per_core() const { return flags_per_core_; }
+  [[nodiscard]] const FlagStats& stats() const { return stats_; }
 
  private:
   struct Slot {
@@ -67,6 +79,9 @@ class FlagFile {
   int num_cores_;
   int flags_per_core_;
   std::vector<Slot> slots_;
+  // Mutable: polls are counted on the const read path; purely
+  // observational, never feeds back into timing.
+  mutable FlagStats stats_;
 };
 
 }  // namespace scc::machine

@@ -43,6 +43,7 @@ CacheAccessResult CacheModel::touch_read(std::uintptr_t addr,
     ++result.misses;
     if (insert(line)) ++result.writebacks;
   }
+  stats_ += result;
   return result;
 }
 
@@ -63,6 +64,7 @@ CacheAccessResult CacheModel::touch_write(std::uintptr_t addr,
     // Non-write-allocate: the write goes to memory without filling a line.
     ++result.uncached_writes;
   }
+  stats_ += result;
   return result;
 }
 

@@ -35,6 +35,25 @@ struct CacheAccessResult {
   std::uint64_t uncached_writes = 0;  // write misses sent straight to DRAM
 };
 
+/// Cumulative per-core cache counters (the lifetime sum of every
+/// CacheAccessResult the model handed out). Volume-type: a core's access
+/// sequence is its own program order, so these are schedule-invariant and
+/// the conformance harness pins them across perturbation seeds.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t uncached_writes = 0;
+
+  CacheStats& operator+=(const CacheAccessResult& r) {
+    hits += r.hits;
+    misses += r.misses;
+    writebacks += r.writebacks;
+    uncached_writes += r.uncached_writes;
+    return *this;
+  }
+};
+
 class CacheModel {
  public:
   explicit CacheModel(const HwCostModel& hw);
@@ -47,11 +66,13 @@ class CacheModel {
   /// uncached_writes.
   CacheAccessResult touch_write(std::uintptr_t addr, std::size_t bytes);
 
-  /// Drops every line (cold-start experiments).
+  /// Drops every line (cold-start experiments). Cumulative stats() survive
+  /// the flush: they count accesses, not contents.
   void flush_all();
 
   [[nodiscard]] std::uint64_t resident_lines() const { return map_.size(); }
   [[nodiscard]] std::uint64_t capacity_lines() const { return capacity_; }
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
 
  private:
   struct Entry {
@@ -66,6 +87,7 @@ class CacheModel {
   std::uint64_t capacity_;
   std::list<std::uintptr_t> lru_;  // front = most recently used
   std::unordered_map<std::uintptr_t, Entry> map_;
+  CacheStats stats_;
 };
 
 }  // namespace scc::mem

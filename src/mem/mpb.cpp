@@ -7,7 +7,8 @@ namespace scc::mem {
 MpbStorage::MpbStorage(int num_cores, std::size_t bytes_per_core)
     : num_cores_(num_cores),
       bytes_per_core_(bytes_per_core),
-      storage_(static_cast<std::size_t>(num_cores) * bytes_per_core) {
+      storage_(static_cast<std::size_t>(num_cores) * bytes_per_core),
+      high_water_(static_cast<std::size_t>(num_cores), 0) {
   SCC_EXPECTS(num_cores > 0);
   SCC_EXPECTS(bytes_per_core > 0);
 }
@@ -16,6 +17,8 @@ std::size_t MpbStorage::flat_index(MpbAddr addr, std::size_t bytes) const {
   SCC_EXPECTS(addr.core >= 0 && addr.core < num_cores_);
   SCC_EXPECTS(addr.offset <= bytes_per_core_);
   SCC_EXPECTS(bytes <= bytes_per_core_ - addr.offset);
+  auto& hw = high_water_[static_cast<std::size_t>(addr.core)];
+  hw = std::max(hw, addr.offset + bytes);
   return static_cast<std::size_t>(addr.core) * bytes_per_core_ + addr.offset;
 }
 
@@ -45,8 +48,15 @@ void MpbStorage::copy(MpbAddr src, MpbAddr dst, std::size_t bytes) {
 }
 
 void MpbStorage::poison(int core, std::byte pattern) {
-  auto area = range(MpbAddr{core, 0}, bytes_per_core_);
-  std::fill(area.begin(), area.end(), pattern);
+  SCC_EXPECTS(core >= 0 && core < num_cores_);
+  // Direct fill, bypassing flat_index: poisoning must not register as a
+  // protocol footprint in the high-water mark.
+  const auto begin =
+      storage_.begin() +
+      static_cast<std::ptrdiff_t>(static_cast<std::size_t>(core) *
+                                  bytes_per_core_);
+  std::fill(begin, begin + static_cast<std::ptrdiff_t>(bytes_per_core_),
+            pattern);
 }
 
 }  // namespace scc::mem

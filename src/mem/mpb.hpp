@@ -39,8 +39,18 @@ class MpbStorage {
   void copy(MpbAddr src, MpbAddr dst, std::size_t bytes);
 
   /// Fills a core's whole MPB with a poison pattern (used by tests to catch
-  /// reads of never-written buffer areas).
+  /// reads of never-written buffer areas). Does not count towards the
+  /// footprint high-water mark (it is harness scaffolding, not a protocol
+  /// access).
   void poison(int core, std::byte pattern);
+
+  /// Highest end offset (offset + bytes) any access has touched in `core`'s
+  /// MPB -- the protocol's footprint high-water mark. Volume-type:
+  /// schedule-invariant for deterministic protocols.
+  [[nodiscard]] std::size_t high_water(int core) const {
+    SCC_EXPECTS(core >= 0 && core < num_cores_);
+    return high_water_[static_cast<std::size_t>(core)];
+  }
 
  private:
   [[nodiscard]] std::size_t flat_index(MpbAddr addr, std::size_t bytes) const;
@@ -48,6 +58,9 @@ class MpbStorage {
   int num_cores_;
   std::size_t bytes_per_core_;
   std::vector<std::byte> storage_;
+  // Footprint tracking is observational bookkeeping on a const path
+  // (range() const is the read funnel), hence mutable.
+  mutable std::vector<std::size_t> high_water_;
 };
 
 }  // namespace scc::mem

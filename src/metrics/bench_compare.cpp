@@ -1,0 +1,158 @@
+#include "metrics/bench_compare.hpp"
+
+#include <cmath>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+
+namespace scc::metrics {
+
+namespace {
+
+/// Stable row-key rendering: numbers without trailing noise, strings as-is.
+std::string key_repr(const JsonValue& v) {
+  if (v.is_number()) return strprintf("%.17g", v.as_number());
+  if (v.is_string()) return v.as_string();
+  return "?";
+}
+
+/// Validates the envelope and returns the rows; appends regressions (and
+/// returns nullptr) when the document is not a well-formed bench file.
+const JsonValue::Array* bench_rows(const JsonValue& doc, const char* side,
+                                   CompareOutcome& out) {
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "scc-bench-v1") {
+    out.regressions.push_back(
+        strprintf("%s: not an scc-bench-v1 document", side));
+    return nullptr;
+  }
+  const JsonValue* rows = doc.find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    out.regressions.push_back(strprintf("%s: missing rows array", side));
+    return nullptr;
+  }
+  return &rows->as_array();
+}
+
+std::string pick_key_column(const JsonValue::Array& rows) {
+  if (rows.empty() || !rows.front().is_object()) return "";
+  const auto& first = rows.front().as_object();
+  if (first.contains("elements")) return "elements";
+  return first.empty() ? "" : first.begin()->first;
+}
+
+}  // namespace
+
+CompareOutcome compare_bench(const JsonValue& baseline,
+                             const JsonValue& current,
+                             const CompareOptions& options,
+                             const std::string& key_column) {
+  CompareOutcome out;
+  const JsonValue::Array* base_rows = bench_rows(baseline, "baseline", out);
+  const JsonValue::Array* cur_rows = bench_rows(current, "current", out);
+  if (base_rows == nullptr || cur_rows == nullptr) return out;
+
+  const std::string key =
+      key_column.empty() ? pick_key_column(*base_rows) : key_column;
+  if (key.empty()) {
+    if (!base_rows->empty()) {
+      out.regressions.emplace_back("baseline: cannot determine key column");
+    }
+    return out;  // empty baseline: nothing gated
+  }
+
+  std::map<std::string, const JsonValue::Object*> cur_by_key;
+  for (const JsonValue& row : *cur_rows) {
+    if (!row.is_object()) continue;
+    const JsonValue* k = row.find(key);
+    if (k != nullptr) cur_by_key[key_repr(*k)] = &row.as_object();
+  }
+
+  std::size_t matched = 0;
+  for (const JsonValue& row : *base_rows) {
+    if (!row.is_object()) continue;
+    const JsonValue* k = row.find(key);
+    if (k == nullptr) continue;
+    const std::string row_key = key_repr(*k);
+    const auto found = cur_by_key.find(row_key);
+    if (found == cur_by_key.end()) {
+      out.regressions.push_back(strprintf(
+          "row %s=%s present in baseline but missing from current run",
+          key.c_str(), row_key.c_str()));
+      continue;
+    }
+    ++matched;
+    const JsonValue::Object& cur_row = *found->second;
+    for (const auto& [column, base_cell] : row.as_object()) {
+      if (column == key || !base_cell.is_number()) continue;
+      const double base = base_cell.as_number();
+      const auto cur_it = cur_row.find(column);
+      if (cur_it == cur_row.end() || !cur_it->second.is_number()) {
+        out.regressions.push_back(
+            strprintf("row %s=%s: column %s missing from current run",
+                      key.c_str(), row_key.c_str(), column.c_str()));
+        continue;
+      }
+      const double cur = cur_it->second.as_number();
+      ++out.values_compared;
+      const double slack =
+          options.rel_tol * std::fabs(base) + options.abs_tol;
+      const auto describe = [&](const char* verdict) {
+        return strprintf("row %s=%s: %s %s: baseline %.4f, current %.4f "
+                         "(%+.2f%%, tolerance %.2f%%)",
+                         key.c_str(), row_key.c_str(), column.c_str(),
+                         verdict, base, cur,
+                         base != 0.0 ? 100.0 * (cur - base) / std::fabs(base)
+                                     : 0.0,
+                         100.0 * options.rel_tol);
+      };
+      if (cur > base + slack) {
+        out.regressions.push_back(describe("regressed"));
+      } else if (cur < base - slack) {
+        if (options.two_sided) {
+          out.regressions.push_back(describe("drifted low"));
+        } else {
+          out.notes.push_back(describe("improved"));
+        }
+      }
+    }
+  }
+  if (cur_by_key.size() > matched) {
+    out.notes.push_back(strprintf(
+        "current run has %zu row(s) not in the baseline (not gated)",
+        cur_by_key.size() - matched));
+  }
+  return out;
+}
+
+CompareOutcome compare_bench_files(const std::string& baseline,
+                                   const std::string& current,
+                                   const CompareOptions& options,
+                                   const std::string& key_column) {
+  CompareOutcome out;
+  JsonValue base_doc;
+  JsonValue cur_doc;
+  try {
+    base_doc = parse_json_file(baseline);
+    cur_doc = parse_json_file(current);
+  } catch (const std::runtime_error& e) {
+    out.regressions.emplace_back(e.what());  // fail closed on corrupt input
+    return out;
+  }
+  return compare_bench(base_doc, cur_doc, options, key_column);
+}
+
+void print_outcome(const CompareOutcome& outcome, std::ostream& os) {
+  for (const std::string& note : outcome.notes) os << "note: " << note << '\n';
+  for (const std::string& r : outcome.regressions) {
+    os << "REGRESSION: " << r << '\n';
+  }
+  os << (outcome.ok() ? "OK" : "FAIL") << ": " << outcome.values_compared
+     << " value(s) compared, " << outcome.regressions.size()
+     << " regression(s)\n";
+}
+
+}  // namespace scc::metrics

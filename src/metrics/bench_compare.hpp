@@ -1,0 +1,58 @@
+// Regression gate: diffs one "scc-bench-v1" JSON bench run against a
+// committed baseline, per-metric tolerances, non-zero exit on regression.
+// Library half of the bench/compare CLI so tests can drive it directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/json.hpp"
+
+namespace scc::metrics {
+
+struct CompareOptions {
+  /// Allowed relative increase per value ((current-base)/|base|). The
+  /// simulated latencies are deterministic, so this only needs to absorb
+  /// intentional model recalibrations, not noise.
+  double rel_tol = 0.05;
+  /// Allowed absolute increase (in the value's own unit), applied on top of
+  /// rel_tol; covers near-zero baselines.
+  double abs_tol = 0.0;
+  /// Values are higher-is-worse (latencies) by default: improvements pass.
+  /// Two-sided mode also fails on decreases beyond tolerance (drift gate).
+  bool two_sided = false;
+};
+
+struct CompareOutcome {
+  int values_compared = 0;
+  /// One line per failed comparison / structural mismatch.
+  std::vector<std::string> regressions;
+  /// Informational lines (improvements, rows only in current, ...).
+  std::vector<std::string> notes;
+
+  [[nodiscard]] bool ok() const { return regressions.empty(); }
+};
+
+/// Compares two parsed "scc-bench-v1" documents. Rows are matched by the
+/// value of `key_column` (default: "elements" when the baseline rows have
+/// it -- the figure benches do -- else the alphabetically first column). A
+/// baseline row or
+/// numeric column missing from `current` is a regression (coverage loss);
+/// extra rows/columns in `current` are notes.
+[[nodiscard]] CompareOutcome compare_bench(const JsonValue& baseline,
+                                           const JsonValue& current,
+                                           const CompareOptions& options,
+                                           const std::string& key_column = "");
+
+/// File-path convenience; parse errors surface as regressions so the gate
+/// fails closed on corrupt inputs.
+[[nodiscard]] CompareOutcome compare_bench_files(const std::string& baseline,
+                                                 const std::string& current,
+                                                 const CompareOptions& options,
+                                                 const std::string& key_column = "");
+
+/// Renders the outcome (notes then regressions then verdict) to `os`.
+void print_outcome(const CompareOutcome& outcome, std::ostream& os);
+
+}  // namespace scc::metrics

@@ -1,0 +1,260 @@
+#include "metrics/blame.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <tuple>
+
+#include "common/contracts.hpp"
+#include "common/string_util.hpp"
+
+namespace scc::metrics {
+
+namespace {
+
+/// Contention queueing charged inside one interval, per causing link.
+struct LinkPortion {
+  std::string_view link;
+  SimTime extra;
+};
+
+struct Interval {
+  SimTime t0;
+  SimTime t1;
+  std::string_view lane;
+  const std::string* detail;         // recorder-owned
+  std::vector<LinkPortion> queueing;  // nonzero link-queue portions
+};
+
+/// "flag c:i" / "set c:i" -> "c:i"; empty when not of that shape.
+std::string_view flag_key(const std::string& detail, std::string_view kind) {
+  if (detail.size() <= kind.size() + 1) return {};
+  if (std::string_view(detail).substr(0, kind.size()) != kind) return {};
+  if (detail[kind.size()] != ' ') return {};
+  return std::string_view(detail).substr(kind.size() + 1);
+}
+
+struct SetEvent {
+  SimTime end;  // deposit lands at the charge end
+  int core;
+};
+
+class Walker {
+ public:
+  Walker(const trace::Recorder& trace, int run) {
+    // Pass 1: partition intervals per core, pairing each with the
+    // link-occupancy windows its transfer recorded just before it (the
+    // occupy() call and the interval record happen synchronously inside
+    // one coroutine step, so in the stream the windows directly precede
+    // their charge).
+    std::vector<LinkPortion> pending;
+    for (const trace::Event& ev : trace.events()) {
+      if (ev.run != run) continue;
+      switch (ev.kind) {
+        case trace::EventKind::kLinkWindow:
+          if (ev.extra > SimTime::zero()) {
+            pending.push_back(LinkPortion{ev.lane, ev.extra});
+          }
+          break;
+        case trace::EventKind::kInterval: {
+          if (ev.pid < 0) break;
+          if (ev.t1 <= ev.t0) {
+            // Zero-length (e.g. an already-satisfied flag wait): carries no
+            // blame and would stall the backward walk.
+            pending.clear();
+            break;
+          }
+          if (static_cast<std::size_t>(ev.pid) >= per_core_.size()) {
+            per_core_.resize(static_cast<std::size_t>(ev.pid) + 1);
+          }
+          per_core_[static_cast<std::size_t>(ev.pid)].push_back(Interval{
+              ev.t0, ev.t1, ev.lane, &ev.detail, std::move(pending)});
+          pending.clear();
+          const std::string_view set = flag_key(ev.detail, "set");
+          if (!set.empty()) {
+            sets_[std::string(set)].push_back(SetEvent{ev.t1, ev.pid});
+          }
+          break;
+        }
+        case trace::EventKind::kInstant: break;
+      }
+    }
+    for (auto& ivs : per_core_) {
+      std::sort(ivs.begin(), ivs.end(),
+                [](const Interval& a, const Interval& b) {
+                  return a.t0 < b.t0;
+                });
+    }
+    for (auto& [key, sets] : sets_) {
+      std::sort(sets.begin(), sets.end(),
+                [](const SetEvent& a, const SetEvent& b) {
+                  return a.end < b.end;
+                });
+    }
+  }
+
+  BlameReport walk(int terminal_core, SimTime begin, SimTime end) {
+    SCC_EXPECTS(end >= begin);
+    BlameReport report;
+    report.window_begin = begin;
+    report.window_end = end;
+
+    int core = terminal_core;
+    SimTime t = end;
+    while (t > begin) {
+      const Interval* iv = covering_or_before(core, t);
+      if (iv == nullptr) {
+        blame("idle", core, {}, t - begin);
+        break;
+      }
+      if (iv->t1 < t) {  // gap: the core ran nothing in (iv->t1, t]
+        const SimTime lo = std::max(iv->t1, begin);
+        blame("idle", core, {}, t - lo);
+        t = lo;
+        continue;
+      }
+      // iv covers (iv->t0, t]; clip to the window.
+      const SimTime lo = std::max(iv->t0, begin);
+      const SimTime seg = t - lo;
+      const std::string_view waited_on = flag_key(*iv->detail, "flag");
+      if (!waited_on.empty()) {
+        // Real rcce_wait_until wait: the waiter is late because it blocked
+        // here. Charge the whole span, then ask why the setter took until
+        // iv->t1 -- continue on its timeline from the moment the wait began.
+        blame(iv->lane, core, {}, seg);
+        if (const SetEvent* set = matching_set(waited_on, iv->t1);
+            set != nullptr && set->core != core) {
+          core = set->core;
+          ++report.edges_followed;
+        }
+        t = lo;
+        continue;
+      }
+      // Plain charge: split out the contention-queueing portion to the
+      // links that caused it; the rest belongs to the phase itself.
+      SimTime link_sum;
+      for (const LinkPortion& p : iv->queueing) link_sum += p.extra;
+      SimTime assigned;
+      if (link_sum > SimTime::zero()) {
+        const std::uint64_t budget =
+            std::min(link_sum, seg).femtoseconds();  // window-begin clip
+        for (const LinkPortion& p : iv->queueing) {
+          // Apportion by each link's share of the queueing; the truncation
+          // remainder stays with the phase bucket, keeping the sum exact.
+          auto share = static_cast<std::uint64_t>(
+              static_cast<long double>(p.extra.femtoseconds()) *
+              static_cast<long double>(budget) /
+              static_cast<long double>(link_sum.femtoseconds()));
+          share = std::min(share, budget - assigned.femtoseconds());
+          if (share == 0) continue;
+          blame("link-queue", -1, p.link, SimTime{share});
+          assigned += SimTime{share};
+        }
+      }
+      blame(iv->lane, core, {}, seg - assigned);
+      t = lo;
+    }
+
+    for (auto& [key, time] : buckets_) {
+      const auto& [kind, bucket_core, link] = key;
+      report.components.push_back(
+          BlameComponent{kind, bucket_core, link, time});
+    }
+    std::sort(report.components.begin(), report.components.end(),
+              [](const BlameComponent& a, const BlameComponent& b) {
+                return a.time > b.time;
+              });
+    return report;
+  }
+
+ private:
+  /// Latest interval on `core` starting strictly before `t` (it either
+  /// covers t or precedes a gap); nullptr when the core has none.
+  const Interval* covering_or_before(int core, SimTime t) const {
+    if (core < 0 || static_cast<std::size_t>(core) >= per_core_.size()) {
+      return nullptr;
+    }
+    const auto& ivs = per_core_[static_cast<std::size_t>(core)];
+    const auto it = std::upper_bound(
+        ivs.begin(), ivs.end(), t,
+        [](SimTime value, const Interval& iv) { return value <= iv.t0; });
+    return it == ivs.begin() ? nullptr : &*std::prev(it);
+  }
+
+  /// The deposit that ended a wait finishing at `wakeup`: the "set" charge
+  /// for that flag ending exactly then (under injected perturbation delays
+  /// the wakeup can trail the deposit, hence latest-not-after).
+  const SetEvent* matching_set(std::string_view key, SimTime wakeup) const {
+    const auto it = sets_.find(std::string(key));
+    if (it == sets_.end()) return nullptr;
+    const auto& sets = it->second;
+    const auto pos = std::upper_bound(
+        sets.begin(), sets.end(), wakeup,
+        [](SimTime value, const SetEvent& s) { return value < s.end; });
+    return pos == sets.begin() ? nullptr : &*std::prev(pos);
+  }
+
+  void blame(std::string_view kind, int core, std::string_view link,
+             SimTime time) {
+    if (time == SimTime::zero()) return;
+    buckets_[{std::string(kind), core, std::string(link)}] += time;
+  }
+
+  std::vector<std::vector<Interval>> per_core_;
+  std::map<std::string, std::vector<SetEvent>> sets_;
+  std::map<std::tuple<std::string, int, std::string>, SimTime> buckets_;
+};
+
+}  // namespace
+
+std::string BlameComponent::where() const {
+  if (!link.empty()) return "link " + link;
+  if (core < 0) return "-";
+  return strprintf("core %d", core);
+}
+
+SimTime BlameReport::attributed() const {
+  SimTime sum;
+  for (const BlameComponent& c : components) sum += c.time;
+  return sum;
+}
+
+SimTime BlameReport::kind_total(std::string_view kind) const {
+  SimTime sum;
+  for (const BlameComponent& c : components) {
+    if (c.kind == kind) sum += c.time;
+  }
+  return sum;
+}
+
+double BlameReport::kind_share(std::string_view kind) const {
+  if (total() == SimTime::zero()) return 0.0;
+  return static_cast<double>(kind_total(kind).femtoseconds()) /
+         static_cast<double>(total().femtoseconds());
+}
+
+void BlameReport::print(std::ostream& os) const {
+  os << strprintf(
+      "blame report: window [%.3f us, %.3f us], end-to-end %.3f us, "
+      "%llu wakeup edge(s) followed\n",
+      window_begin.us(), window_end.us(), total().us(),
+      static_cast<unsigned long long>(edges_followed));
+  const double denom =
+      std::max<double>(1.0, static_cast<double>(total().femtoseconds()));
+  for (const BlameComponent& c : components) {
+    os << strprintf(
+        "  %6.2f%%  %-12s  %-18s  %.3f us\n",
+        100.0 * static_cast<double>(c.time.femtoseconds()) / denom,
+        c.kind.c_str(), c.where().c_str(), c.time.us());
+  }
+  os << strprintf("  attributed %.3f us of %.3f us\n", attributed().us(),
+                  total().us());
+}
+
+BlameReport analyze_blame(const trace::Recorder& trace, int run,
+                          int terminal_core, SimTime window_begin,
+                          SimTime window_end) {
+  return Walker(trace, run).walk(terminal_core, window_begin, window_end);
+}
+
+}  // namespace scc::metrics

@@ -1,0 +1,96 @@
+#include "metrics/collect.hpp"
+
+#include "common/string_util.hpp"
+
+namespace scc::metrics {
+
+namespace {
+constexpr bool kInvariant = true;  // volume-type: seed-invariant
+constexpr bool kVariant = false;   // time-type: schedule-dependent
+}  // namespace
+
+void collect_machine(machine::SccMachine& machine, MetricsRegistry& out) {
+  // --- engine (all time-type: counts depend on the interleaving) --------
+  const sim::EngineStats& eng = machine.engine().stats();
+  out.set("engine/events_processed", machine.engine().events_processed(),
+          Unit::kCount, kVariant);
+  out.set("engine/parks", eng.parks, Unit::kCount, kVariant);
+  out.set("engine/notifies", eng.notifies, Unit::kCount, kVariant);
+  out.set("engine/waiters_woken", eng.waiters_woken, Unit::kCount, kVariant);
+  out.set("engine/perturb_delays", eng.perturb_delays, Unit::kCount,
+          kVariant);
+  out.set_time("engine/perturb_delay_total_fs", eng.perturb_delay_total,
+               kVariant);
+
+  // --- per core: profile phases, cache, MPB footprint -------------------
+  for (int r = 0; r < machine.num_cores(); ++r) {
+    const machine::CoreProfile& prof = machine.core(r).profile();
+    for (int p = 0; p < static_cast<int>(machine::Phase::kCount); ++p) {
+      const auto phase = static_cast<machine::Phase>(p);
+      // Phase times are time-type: total wait time moves with the schedule.
+      out.set_time(strprintf("core/%d/profile/%s_fs", r,
+                             std::string(machine::phase_name(phase)).c_str()),
+                   prof.get(phase), kVariant);
+    }
+    const mem::CacheStats& cache = machine.cache(r).stats();
+    out.set(strprintf("core/%d/cache/hits", r), cache.hits, Unit::kCount,
+            kInvariant);
+    out.set(strprintf("core/%d/cache/misses", r), cache.misses, Unit::kCount,
+            kInvariant);
+    out.set(strprintf("core/%d/cache/writebacks", r), cache.writebacks,
+            Unit::kCount, kInvariant);
+    out.set(strprintf("core/%d/cache/uncached_writes", r),
+            cache.uncached_writes, Unit::kCount, kInvariant);
+    out.set(strprintf("core/%d/mpb/high_water_bytes", r),
+            machine.mpb().high_water(r), Unit::kBytes, kInvariant);
+  }
+
+  // --- flags -------------------------------------------------------------
+  const machine::FlagStats& flags = machine.flags().stats();
+  out.set("flags/sets", flags.sets, Unit::kCount, kInvariant);
+  out.set("flags/polls", flags.polls, Unit::kCount, kVariant);
+  out.set("flags/wakeups", flags.wakeups, Unit::kCount, kVariant);
+
+  // --- NoC traffic volume (contention-free accounting) -------------------
+  out.set("noc/lines_sent", machine.traffic().total_lines_sent(),
+          Unit::kCount, kInvariant);
+  out.set("noc/line_hops", machine.traffic().total_line_hops(), Unit::kCount,
+          kInvariant);
+  out.set("noc/max_link_load", machine.traffic().max_link_load(),
+          Unit::kCount, kInvariant);
+
+  // --- link-contention model (populated only when enabled) ---------------
+  const noc::LinkContention& cont = machine.contention();
+  out.set_time("noc/contention/total_delay_fs", cont.total_delay(), kVariant);
+  out.set("noc/contention/delayed_transfers", cont.delayed_transfers(),
+          Unit::kCount, kVariant);
+  for (const auto& [name, link] : cont.link_stats()) {
+    // Window COUNT per link is volume-type (one per crossing); the busy /
+    // queueing times shift with the interleaving.
+    out.set(strprintf("noc/link/%s/windows", name.c_str()), link.windows,
+            Unit::kCount, kInvariant);
+    out.set_time(strprintf("noc/link/%s/busy_fs", name.c_str()), link.busy,
+                 kVariant);
+    out.set_time(strprintf("noc/link/%s/queue_fs", name.c_str()), link.queue,
+                 kVariant);
+    out.set_time(strprintf("noc/link/%s/max_queue_fs", name.c_str()),
+                 link.max_queue, kVariant);
+  }
+}
+
+void collect_channel(const rckmpi::ChannelStats& stats,
+                     MetricsRegistry& out) {
+  out.set("rckmpi/messages", stats.messages, Unit::kCount, kInvariant);
+  out.set("rckmpi/header_lines", stats.header_lines, Unit::kCount,
+          kInvariant);
+  out.set("rckmpi/payload_lines", stats.payload_lines, Unit::kCount,
+          kInvariant);
+  out.set("rckmpi/credit_updates", stats.credit_updates, Unit::kCount,
+          kVariant);
+  out.set("rckmpi/credit_stalls", stats.credit_stalls, Unit::kCount,
+          kVariant);
+  out.set("rckmpi/progress_polls", stats.progress_polls, Unit::kCount,
+          kVariant);
+}
+
+}  // namespace scc::metrics

@@ -1,0 +1,22 @@
+// Snapshot collection: walks every counter the simulator keeps and files it
+// into a MetricsRegistry under stable hierarchical paths. See DESIGN.md §10
+// for the path schema and the volume-type/time-type classification.
+#pragma once
+
+#include "machine/scc_machine.hpp"
+#include "metrics/registry.hpp"
+#include "rckmpi/channel.hpp"
+
+namespace scc::metrics {
+
+/// Snapshots one machine: engine stats, per-core profiles/caches/MPB
+/// footprints, flag traffic, NoC traffic + per-link contention. Cumulative
+/// over the machine's lifetime (warmup included), like the counters
+/// themselves. Non-const: the accessors are non-const; nothing is mutated.
+void collect_machine(machine::SccMachine& machine, MetricsRegistry& out);
+
+/// Snapshots the RCKMPI transport counters (only meaningful for MPI runs;
+/// harmless zeros otherwise) under "rckmpi/...".
+void collect_channel(const rckmpi::ChannelStats& stats, MetricsRegistry& out);
+
+}  // namespace scc::metrics

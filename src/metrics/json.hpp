@@ -1,0 +1,87 @@
+// Minimal JSON value + recursive-descent parser, just big enough for the
+// regression gate: bench/compare reads "scc-bench-v1" and "scc-metrics-v1"
+// files back in. No external dependency; strict enough to reject the
+// truncated/garbled files a crashed bench run could leave behind.
+//
+// Numbers are held as double (the bench values are microsecond latencies
+// and counters far below 2^53, so round-tripping is exact in practice).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace scc::metrics {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : v_(nullptr) {}
+  JsonValue(std::nullptr_t) : v_(nullptr) {}  // NOLINT(google-explicit-constructor)
+  explicit JsonValue(bool b) : v_(b) {}
+  explicit JsonValue(double d) : v_(d) {}
+  explicit JsonValue(std::string s) : v_(std::move(s)) {}
+  explicit JsonValue(Array a) : v_(std::move(a)) {}
+  explicit JsonValue(Object o) : v_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(v_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(v_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(v_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(v_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(v_);
+  }
+
+  // Typed accessors; SCC_EXPECTS-style hard failure on kind mismatch would
+  // drag contracts.hpp in -- std::get already throws std::bad_variant_access,
+  // which compare surfaces as a parse failure.
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(v_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(v_);
+  }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(v_); }
+  [[nodiscard]] const Object& as_object() const {
+    return std::get<Object>(v_);
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
+    if (!is_object()) return nullptr;
+    const auto& obj = as_object();
+    const auto it = obj.find(std::string(key));
+    return it == obj.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+/// Throws std::runtime_error with a byte offset on malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// Reads and parses a whole file; throws std::runtime_error on open or
+/// parse failure (the message names the path).
+[[nodiscard]] JsonValue parse_json_file(const std::string& path);
+
+/// Escapes a string for embedding in a JSON document (no surrounding
+/// quotes). Handles quotes, backslash and control characters.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace scc::metrics

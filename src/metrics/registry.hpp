@@ -1,0 +1,103 @@
+// MetricsRegistry: one flat, ordered snapshot of every counter a run
+// produced, addressed by hierarchical slash-paths ("core/17/profile/
+// flag_wait_fs", "noc/link/(2,1)->(3,1)/queue_fs", "rckmpi/messages").
+//
+// Each entry carries a unit and a seed-invariance class:
+//   - invariant (volume-type): fixed by the communication pattern, so it
+//     must be bit-identical across schedule-perturbation seeds (lines sent,
+//     cache misses, flag sets, MPB footprint...). The conformance harness
+//     diffs these across seeds.
+//   - variant (time-type): depends on the interleaving (queueing delays,
+//     park/poll counts, injected perturbation delays...).
+//
+// The registry is purely observational output: collecting it never charges
+// simulated time (tested by the metrics-on/off timing-invariance test).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace scc::metrics {
+
+enum class Unit : std::uint8_t {
+  kCount,
+  kBytes,
+  kFemtoseconds,
+};
+
+[[nodiscard]] constexpr std::string_view unit_name(Unit u) {
+  switch (u) {
+    case Unit::kCount: return "count";
+    case Unit::kBytes: return "bytes";
+    case Unit::kFemtoseconds: return "fs";
+  }
+  return "?";
+}
+
+struct Metric {
+  std::uint64_t value = 0;
+  Unit unit = Unit::kCount;
+  bool invariant = false;  // volume-type: identical across perturbation seeds
+
+  friend bool operator==(const Metric&, const Metric&) = default;
+};
+
+class MetricsRegistry {
+ public:
+  /// Free-form run label shown in exports (e.g. "allreduce/blocking n=552").
+  void set_label(std::string label) { label_ = std::move(label); }
+  [[nodiscard]] const std::string& label() const { return label_; }
+
+  /// Inserts or overwrites one metric.
+  void set(std::string path, std::uint64_t value, Unit unit = Unit::kCount,
+           bool invariant = false) {
+    entries_[std::move(path)] = Metric{value, unit, invariant};
+  }
+  /// SimTime convenience: stores femtoseconds with Unit::kFemtoseconds.
+  void set_time(std::string path, SimTime t, bool invariant = false) {
+    set(std::move(path), t.femtoseconds(), Unit::kFemtoseconds, invariant);
+  }
+
+  [[nodiscard]] const std::map<std::string, Metric>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Lookup; nullptr when absent.
+  [[nodiscard]] const Metric* find(std::string_view path) const;
+  /// Lookup with fallback value for absent paths.
+  [[nodiscard]] std::uint64_t value_or(std::string_view path,
+                                       std::uint64_t fallback = 0) const;
+
+  /// Copies every entry of `other` under `prefix` (e.g. a sweep absorbing
+  /// each point's snapshot under "point/552/"). `prefix` should end in '/'.
+  void absorb(const MetricsRegistry& other, const std::string& prefix);
+
+  /// JSON export ("scc-metrics-v1"): one stable object sorted by path.
+  void write_json(std::ostream& os) const;
+  /// Convenience: writes JSON to a file; throws std::runtime_error on
+  /// failure to open.
+  void write_json_file(const std::string& path) const;
+
+  /// Aligned human-readable table (path, value, unit, invariance class).
+  void print(std::ostream& os) const;
+
+  /// Compares the *invariant* entries of two snapshots (both directions):
+  /// returns one human-readable line per mismatch -- value difference, or
+  /// an invariant path present on only one side. Empty result == conformant.
+  [[nodiscard]] static std::vector<std::string> diff_invariant(
+      const MetricsRegistry& baseline, const MetricsRegistry& other);
+
+ private:
+  std::string label_;
+  std::map<std::string, Metric> entries_;
+};
+
+}  // namespace scc::metrics

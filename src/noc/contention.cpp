@@ -22,6 +22,11 @@ SimTime LinkContention::occupy(CoreId a, CoreId b, std::uint64_t lines,
     const SimTime start = std::max(arrival, busy);
     delay += start - arrival;  // residual queueing on this link
     busy = start + service;
+    LinkStats& s = stats_[key_of(link)];
+    ++s.windows;
+    s.busy += service;
+    s.queue += start - arrival;
+    s.max_queue = std::max(s.max_queue, start - arrival);
     if (trace_) {
       trace_->link_window(link_name(link), start, busy, start - arrival);
     }
@@ -45,8 +50,20 @@ std::string_view LinkContention::link_name(const LinkId& link) {
   return name;
 }
 
+std::vector<std::pair<std::string, LinkStats>> LinkContention::link_stats()
+    const {
+  std::vector<std::pair<std::string, LinkStats>> out;
+  out.reserve(stats_.size());
+  for (const auto& [key, s] : stats_) {
+    const auto& [fx, fy, tx, ty] = key;
+    out.emplace_back(strprintf("(%d,%d)->(%d,%d)", fx, fy, tx, ty), s);
+  }
+  return out;
+}
+
 void LinkContention::reset() {
   busy_until_.clear();
+  stats_.clear();
   total_delay_ = SimTime::zero();
   delayed_transfers_ = 0;
 }

@@ -23,13 +23,26 @@
 #pragma once
 
 #include <map>
+#include <string>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "common/time.hpp"
 #include "noc/topology.hpp"
 #include "trace/recorder.hpp"
 
 namespace scc::noc {
+
+/// Cumulative per-directed-link occupancy counters. `windows` is
+/// volume-type (one per link crossing, schedule-invariant); the times are
+/// time-type (queueing depends on the interleaving of transfers).
+struct LinkStats {
+  std::uint64_t windows = 0;  // transfers that crossed this link
+  SimTime busy;               // total service time
+  SimTime queue;              // total residual queueing suffered here
+  SimTime max_queue;          // worst single-transfer queueing delay here
+};
 
 class LinkContention {
  public:
@@ -51,6 +64,11 @@ class LinkContention {
   [[nodiscard]] std::uint64_t delayed_transfers() const {
     return delayed_transfers_;
   }
+
+  /// Per-link cumulative stats, "(x,y)->(x,y)" name first, sorted by link
+  /// coordinates (deterministic order for the metrics snapshot).
+  [[nodiscard]] std::vector<std::pair<std::string, LinkStats>> link_stats()
+      const;
 
   /// Attaches a trace recorder (nullptr detaches): every occupy() then
   /// records one busy window per crossed link, named "(x,y)->(x,y)".
@@ -74,6 +92,7 @@ class LinkContention {
   std::uint32_t service_cycles_per_line_;
   SimTime hop_latency_;
   std::map<Key, SimTime> busy_until_;
+  std::map<Key, LinkStats> stats_;
   SimTime total_delay_;
   std::uint64_t delayed_transfers_ = 0;
   trace::Recorder* trace_ = nullptr;

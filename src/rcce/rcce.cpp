@@ -11,6 +11,8 @@ sim::Task<> Rcce::send(std::span<const std::byte> data, int dest) {
   SCC_EXPECTS(dest >= 0 && dest < num_cores());
   SCC_EXPECTS(dest != rank());
   co_await api_->overhead(api_->cost().sw.rcce_send_call);
+  co_await api_->wait_poll(api_->cost().sw.rcce_wait_until_poll,
+                           api_->cost().sw.rcce_send_call);
   const std::size_t chunk_bytes = layout_->chunk_bytes();
   std::size_t done = 0;
   do {
@@ -25,6 +27,8 @@ sim::Task<> Rcce::recv(std::span<std::byte> data, int src) {
   SCC_EXPECTS(src >= 0 && src < num_cores());
   SCC_EXPECTS(src != rank());
   co_await api_->overhead(api_->cost().sw.rcce_recv_call);
+  co_await api_->wait_poll(api_->cost().sw.rcce_wait_until_poll,
+                           api_->cost().sw.rcce_recv_call);
   const std::size_t chunk_bytes = layout_->chunk_bytes();
   std::size_t done = 0;
   do {

@@ -113,8 +113,15 @@ sim::Task<> Channel::push_burst(int dest, std::span<const std::byte> payload,
                                 mem::kCacheLineBytes,
                             /*is_read=*/false);
   // Functional effect: header and/or payload lines into the ring.
+  ChannelStats& stats = layout_->stats();
   for (std::uint32_t i = 0; i < burst; ++i) {
     const std::uint32_t msg_line = line_cursor + i;
+    if (msg_line == 0) {
+      ++stats.messages;
+      ++stats.header_lines;
+    } else {
+      ++stats.payload_lines;
+    }
     auto window = api_->mpb_window(
         layout_->ring_line(dest, rank(), pair.lines_sent + i),
         mem::kCacheLineBytes);
@@ -157,6 +164,7 @@ sim::Task<PacketHeader> Channel::read_header(int src) {
   std::memcpy(&header, window.data(), sizeof(header));
   SCC_ASSERT(header.magic == PacketHeader{}.magic);
   pair.lines_consumed += 1;
+  ++layout_->stats().credit_updates;
   co_await api_->flag_set(layout_->free_flag(src, rank()),
                           static_cast<std::uint8_t>(pair.lines_consumed));
   co_await api_->overhead(api_->cost().sw.mpi_match_attempt);
@@ -186,6 +194,7 @@ sim::Task<> Channel::drain_burst(int src, std::span<std::byte> data,
     byte_cursor += len;
   }
   pair.lines_consumed += burst;
+  ++layout_->stats().credit_updates;
   co_await api_->priv_write(data.data() + chunk_begin,
                             byte_cursor - chunk_begin);
   co_await api_->flag_set(layout_->free_flag(src, rank()),
@@ -204,6 +213,7 @@ sim::Task<> Channel::send(std::span<const std::byte> data, int dest,
   while (cursor < total_lines) {
     refresh_tx(dest);
     if (tx_credits(dest) == 0) {
+      ++layout_->stats().credit_stalls;
       const auto value = co_await api_->flag_wait_change(
           layout_->free_flag(rank(), dest),
           static_cast<std::uint8_t>(pair.lines_acked));
@@ -275,6 +285,7 @@ sim::Task<> Channel::sendrecv(std::span<const std::byte> sdata, int dest,
       }
     }
     if (!progressed) {
+      ++layout_->stats().progress_polls;
       co_await api_->charge(
           machine::Phase::kFlagWait,
           api_->cost().hw.core_clock().cycles(kDuplexPollCycles));

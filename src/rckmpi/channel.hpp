@@ -33,6 +33,20 @@ namespace scc::rckmpi {
 /// Wildcard tag for receives.
 inline constexpr int kAnyTag = -1;
 
+/// Cumulative transport counters, aggregated over every core's Channel
+/// endpoint (the shared ChannelLayout owns them so the harness can read
+/// totals after the per-core endpoints are gone). `messages`, `header_lines`
+/// and `payload_lines` are volume-type (fixed by the communication pattern);
+/// the rest are time-type (burst sizes and stalls depend on the schedule).
+struct ChannelStats {
+  std::uint64_t messages = 0;        // framed messages sent
+  std::uint64_t header_lines = 0;    // header packets written
+  std::uint64_t payload_lines = 0;   // payload packets written
+  std::uint64_t credit_updates = 0;  // free-counter flag sets by receivers
+  std::uint64_t credit_stalls = 0;   // sender blocked with zero credits
+  std::uint64_t progress_polls = 0;  // duplex loop spins with no progress
+};
+
 /// MPB geometry/flag map of the channel. Flags live ABOVE the RCCE layout's
 /// indices so both stacks can coexist on one machine.
 class ChannelLayout {
@@ -62,10 +76,16 @@ class ChannelLayout {
     return flag_base_ + 2 * num_cores();
   }
 
+  /// Chip-wide transport counters (every endpoint increments these).
+  /// Mutable through the const layout reference endpoints hold: counting is
+  /// purely observational and never feeds back into timing.
+  [[nodiscard]] ChannelStats& stats() const { return stats_; }
+
  private:
   const rcce::Layout* base_;
   int flag_base_;
   std::uint32_t ring_lines_;
+  mutable ChannelStats stats_;
 };
 
 /// Message header occupying the first ring line of every message.

@@ -21,9 +21,13 @@ void Engine::push_event(SimTime when, std::coroutine_handle<> h,
       const SimTime delay{
           perturb_rng_.below(perturb_->max_delay.femtoseconds() + 1)};
       when += delay;
-      if (trace_ && delay > SimTime::zero()) {
-        trace_->instant(trace::kEnginePid, "perturb", "inject-delay", now_,
-                        "+" + std::to_string(delay.femtoseconds()) + " fs");
+      if (delay > SimTime::zero()) {
+        ++stats_.perturb_delays;
+        stats_.perturb_delay_total += delay;
+        if (trace_) {
+          trace_->instant(trace::kEnginePid, "perturb", "inject-delay", now_,
+                          "+" + std::to_string(delay.femtoseconds()) + " fs");
+        }
       }
     }
   }

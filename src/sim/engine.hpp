@@ -30,6 +30,18 @@
 
 namespace scc::sim {
 
+/// Cumulative scheduler counters. All time-type for conformance purposes:
+/// park/notify counts depend on the interleaving (a waiter woken into a
+/// still-false predicate re-parks), and the delay counters exist only under
+/// perturbation.
+struct EngineStats {
+  std::uint64_t parks = 0;            // coroutines parked on a WaitQueue
+  std::uint64_t notifies = 0;         // notify_all() calls
+  std::uint64_t waiters_woken = 0;    // waiters resumed across all notifies
+  std::uint64_t perturb_delays = 0;   // nonzero injected event delays
+  SimTime perturb_delay_total;        // sum of injected delays
+};
+
 /// Settings for the engine's schedule-perturbation mode.
 struct PerturbConfig {
   /// Seeds the tie-break/delay stream. Equal seeds reproduce the identical
@@ -70,11 +82,15 @@ class Engine {
   void set_trace(trace::Recorder* recorder) { trace_ = recorder; }
   [[nodiscard]] trace::Recorder* trace() const { return trace_; }
 
-  /// Trace hooks for WaitQueue (no-ops when no recorder is attached).
+  /// Count/trace hooks for WaitQueue. Counting is unconditional (host-side
+  /// bookkeeping); the trace instants still require an attached recorder.
   void note_park() {
+    ++stats_.parks;
     if (trace_) trace_->instant(trace::kEnginePid, "waitqueue", "park", now_);
   }
   void note_notify(std::size_t waiters) {
+    ++stats_.notifies;
+    stats_.waiters_woken += waiters;
     if (trace_ && waiters > 0) {
       trace_->instant(trace::kEnginePid, "waitqueue", "notify", now_,
                       std::to_string(waiters) + " waiter(s)");
@@ -121,6 +137,7 @@ class Engine {
   [[nodiscard]] std::uint64_t events_processed() const {
     return events_processed_;
   }
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
 
  private:
   struct Event {
@@ -150,6 +167,7 @@ class Engine {
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  EngineStats stats_;
   bool running_ = false;
   std::optional<PerturbConfig> perturb_;
   Xoshiro256 perturb_rng_;

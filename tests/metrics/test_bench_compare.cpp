@@ -1,0 +1,115 @@
+#include "metrics/bench_compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/table.hpp"
+#include "metrics/json.hpp"
+
+namespace scc::metrics {
+namespace {
+
+JsonValue bench_doc(double blocking_us, double ircce_us) {
+  Table table({"elements", "blocking_us", "ircce_us"});
+  table.add_row({"552", std::to_string(blocking_us),
+                 std::to_string(ircce_us)});
+  table.add_row({"1104", std::to_string(2 * blocking_us),
+                 std::to_string(2 * ircce_us)});
+  std::ostringstream os;
+  table.write_json(os, "fig9f_allreduce");
+  return parse_json(os.str());
+}
+
+TEST(BenchCompare, IdenticalRunsPass) {
+  const CompareOutcome outcome =
+      compare_bench(bench_doc(100.0, 70.0), bench_doc(100.0, 70.0),
+                    CompareOptions{});
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.values_compared, 4);
+}
+
+TEST(BenchCompare, WithinTolerancePasses) {
+  CompareOptions options;
+  options.rel_tol = 0.05;
+  const CompareOutcome outcome =
+      compare_bench(bench_doc(100.0, 70.0), bench_doc(104.0, 72.0), options);
+  EXPECT_TRUE(outcome.ok());
+}
+
+TEST(BenchCompare, TenPercentRegressionFails) {
+  // The acceptance scenario: a 10% latency inflation must trip the 5% gate.
+  CompareOptions options;
+  options.rel_tol = 0.05;
+  const CompareOutcome outcome =
+      compare_bench(bench_doc(100.0, 70.0), bench_doc(110.0, 70.0), options);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_FALSE(outcome.regressions.empty());
+}
+
+TEST(BenchCompare, ImprovementPassesOneSidedFailsTwoSided) {
+  CompareOptions options;
+  options.rel_tol = 0.05;
+  EXPECT_TRUE(
+      compare_bench(bench_doc(100.0, 70.0), bench_doc(80.0, 70.0), options)
+          .ok());
+  options.two_sided = true;
+  EXPECT_FALSE(
+      compare_bench(bench_doc(100.0, 70.0), bench_doc(80.0, 70.0), options)
+          .ok());
+}
+
+TEST(BenchCompare, MissingRowIsCoverageLoss) {
+  Table current({"elements", "blocking_us", "ircce_us"});
+  current.add_row({"552", "100.0", "70.0"});  // 1104 row dropped
+  std::ostringstream os;
+  current.write_json(os, "fig9f_allreduce");
+  const CompareOutcome outcome = compare_bench(
+      bench_doc(100.0, 70.0), parse_json(os.str()), CompareOptions{});
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST(BenchCompare, MissingColumnIsCoverageLoss) {
+  Table current({"elements", "blocking_us"});
+  current.add_row({"552", "100.0"});
+  current.add_row({"1104", "200.0"});
+  std::ostringstream os;
+  current.write_json(os, "fig9f_allreduce");
+  const CompareOutcome outcome = compare_bench(
+      bench_doc(100.0, 70.0), parse_json(os.str()), CompareOptions{});
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST(BenchCompare, CorruptCurrentFailsClosed) {
+  const std::string dir = testing::TempDir();
+  const std::string baseline_path = dir + "/baseline.json";
+  const std::string corrupt_path = dir + "/corrupt.json";
+  {
+    Table table({"elements", "blocking_us"});
+    table.add_row({"552", "100.0"});
+    table.write_json_file(baseline_path, "fig9f_allreduce");
+    std::ofstream bad(corrupt_path, std::ios::binary);
+    bad << "{ \"schema\": \"scc-bench-v1\", \"rows\": [ truncated";
+  }
+  const CompareOutcome outcome =
+      compare_bench_files(baseline_path, corrupt_path, CompareOptions{});
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST(BenchCompare, MissingFileFailsClosed) {
+  const std::string dir = testing::TempDir();
+  const std::string baseline_path = dir + "/baseline2.json";
+  {
+    Table table({"elements", "blocking_us"});
+    table.add_row({"552", "100.0"});
+    table.write_json_file(baseline_path, "fig9f_allreduce");
+  }
+  const CompareOutcome outcome = compare_bench_files(
+      baseline_path, dir + "/does_not_exist.json", CompareOptions{});
+  EXPECT_FALSE(outcome.ok());
+}
+
+}  // namespace
+}  // namespace scc::metrics
