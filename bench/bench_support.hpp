@@ -22,6 +22,12 @@
 //                       "point/<elements>/<variant>/") as scc-metrics-v1
 //   --blame          -- per variant, print the critical-path blame report
 //                       of the last swept point's final repetition
+//   --jobs=N         -- host worker threads for the sweep's independent
+//                       simulations (default: hardware concurrency; N >= 1).
+//                       Points are precomputed in parallel and merged in
+//                       registration order, so every output byte -- tables,
+//                       CSV, JSON, metrics -- is identical to --jobs=1.
+//                       --blame shares one trace recorder and forces serial.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -43,6 +49,7 @@
 
 #include "common/string_util.hpp"
 #include "common/table.hpp"
+#include "exec/executor.hpp"
 #include "harness/runner.hpp"
 #include "metrics/blame.hpp"
 #include "metrics/collect.hpp"
@@ -95,6 +102,7 @@ inline double env_double(const char* name, double fallback) {
 struct BenchOptions {
   std::string metrics_path;  // empty: metrics collection off
   bool blame = false;
+  int jobs = 0;  // 0: exec::default_jobs() (hardware concurrency)
 };
 
 inline BenchOptions& options() {
@@ -114,8 +122,32 @@ inline std::map<std::string, std::string>& blame_reports() {
   return instance;
 }
 
-/// Strips --metrics=<path> and --blame from argv (google-benchmark rejects
-/// unknown flags) and records them in options().
+/// Strict --jobs value parse shared by the bench CLIs: one positive
+/// decimal integer; 0, signs, garbage or overflow abort with exit code 2
+/// (the hardened get_int discipline -- a mistyped --jobs=1O must not
+/// silently serialize or fork wildly).
+inline int parse_jobs_value(std::string_view value) {
+  const std::string v(value);
+  if (v.empty() || v[0] == '-' || v[0] == '+') {
+    std::fprintf(stderr, "error: --jobs='%s' is not a positive integer\n",
+                 v.c_str());
+    std::exit(2);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || errno == ERANGE || parsed == 0 ||
+      parsed > static_cast<unsigned long long>(
+                   std::numeric_limits<int>::max())) {
+    std::fprintf(stderr, "error: --jobs='%s' is not a positive integer\n",
+                 v.c_str());
+    std::exit(2);
+  }
+  return static_cast<int>(parsed);
+}
+
+/// Strips --metrics=<path>, --blame and --jobs=N from argv
+/// (google-benchmark rejects unknown flags) and records them in options().
 inline void parse_instrumentation_flags(int& argc, char** argv) {
   int out = 1;
   for (int i = 1; i < argc; ++i) {
@@ -130,6 +162,10 @@ inline void parse_instrumentation_flags(int& argc, char** argv) {
     }
     if (arg == "--blame") {
       options().blame = true;
+      continue;
+    }
+    if (arg.rfind("--jobs=", 0) == 0) {
+      options().jobs = parse_jobs_value(arg.substr(7));
       continue;
     }
     argv[out++] = argv[i];
@@ -187,10 +223,31 @@ inline SeriesCollector& collector() {
   return instance;
 }
 
-/// One measured figure point; SetIterationTime feeds the virtual latency
-/// to google-benchmark (binaries register with UseManualTime).
-inline void run_point(benchmark::State& state, harness::Collective coll,
-                      harness::PaperVariant variant, std::size_t elements) {
+/// One registered figure point (registration order is preserved).
+struct PointKey {
+  harness::Collective coll;
+  harness::PaperVariant variant;
+  std::size_t elements;
+};
+
+inline std::vector<PointKey>& registered_points() {
+  static std::vector<PointKey> instance;
+  return instance;
+}
+
+/// Results simulated ahead of the google-benchmark pass by the parallel
+/// executor, keyed by (variant, elements); run_point consumes them so the
+/// serially-executed benchmark loop only merges. Only touched from the
+/// main thread (filled after the pool joins).
+inline std::map<std::pair<int, std::size_t>, harness::RunResult>&
+point_cache() {
+  static std::map<std::pair<int, std::size_t>, harness::RunResult> instance;
+  return instance;
+}
+
+inline harness::RunSpec point_spec(harness::Collective coll,
+                                   harness::PaperVariant variant,
+                                   std::size_t elements) {
   harness::RunSpec spec;
   spec.collective = coll;
   spec.variant = variant;
@@ -199,13 +256,52 @@ inline void run_point(benchmark::State& state, harness::Collective coll,
   spec.warmup = 1;
   spec.verify = false;
   spec.collect_metrics = !options().metrics_path.empty();
+  return spec;
+}
+
+/// Fans the registered points out over --jobs host threads (each point
+/// simulates on its own machine) and fills point_cache(). The benchmark
+/// pass then reports the cached latencies in registration order, so all
+/// output bytes match the serial run. No-op for --jobs=1 and under
+/// --blame (whose shared trace recorder requires serial execution).
+inline void precompute_points() {
+  const auto& points = registered_points();
+  if (points.empty() || options().blame) return;
+  if (exec::resolve_jobs(options().jobs) <= 1) return;
+  std::vector<harness::RunResult> results =
+      exec::parallel_map<harness::RunResult>(
+          points.size(), options().jobs, [&](std::size_t i) {
+            const PointKey& p = points[i];
+            return harness::run_collective(
+                point_spec(p.coll, p.variant, p.elements));
+          });
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    point_cache().emplace(std::make_pair(static_cast<int>(points[i].variant),
+                                         points[i].elements),
+                          std::move(results[i]));
+  }
+}
+
+/// One measured figure point; SetIterationTime feeds the virtual latency
+/// to google-benchmark (binaries register with UseManualTime).
+inline void run_point(benchmark::State& state, harness::Collective coll,
+                      harness::PaperVariant variant, std::size_t elements) {
+  harness::RunSpec spec = point_spec(coll, variant, elements);
   std::optional<trace::Recorder> recorder;
   if (options().blame) {
     recorder.emplace(/*capacity=*/std::size_t{1} << 20);
     spec.trace = &*recorder;
   }
   for (auto _ : state) {
-    const harness::RunResult result = harness::run_collective(spec);
+    harness::RunResult result;
+    const auto cached =
+        point_cache().find({static_cast<int>(variant), elements});
+    if (cached != point_cache().end()) {
+      result = std::move(cached->second);
+      point_cache().erase(cached);
+    } else {
+      result = harness::run_collective(spec);
+    }
     state.SetIterationTime(result.mean_latency.seconds());
     collector().add(variant, elements, result.mean_latency.us());
     if (result.metrics) {
@@ -243,6 +339,7 @@ inline void register_figure(const char* figure, harness::Collective coll,
   if (step == 0) env_fail("SCC_BENCH_STEP", "0", "a positive integer");
   for (const harness::PaperVariant v : harness::variants_for(coll)) {
     for (std::size_t n = from; n <= to; n += step) {
+      registered_points().push_back(PointKey{coll, v, n});
       const std::string name =
           strprintf("%s/%s/%zu", figure,
                     std::string(harness::variant_name(v)).c_str(), n);
@@ -284,6 +381,7 @@ inline int figure_main(int argc, char** argv, const char* figure,
                        harness::Collective coll) {
   parse_instrumentation_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
+  precompute_points();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 

@@ -7,6 +7,7 @@
 // pair and the process exits nonzero, so this can anchor a soak CI job.
 //
 //   perturb_soak --rounds=200 --seeds=32 --master-seed=1
+//   perturb_soak --rounds=200 --jobs=8        # fan the seed matrix out
 //   perturb_soak --collective=allreduce --delay-fs=2000000 --verbose
 //   perturb_soak --rounds=1 --master-seed=7 --trace=replay.json
 //   perturb_soak --rounds=1 --metrics=soak_metrics.json
@@ -29,6 +30,7 @@
 
 #include "common/cli.hpp"
 #include "common/rng.hpp"
+#include "exec/executor.hpp"
 #include "harness/conformance.hpp"
 #include "trace/chrome_export.hpp"
 
@@ -70,6 +72,10 @@ int main(int argc, char** argv) {
     const bool verbose = flags.get_bool("verbose", false);
     const std::string trace_path = flags.get("trace", "");
     const std::string metrics_path = flags.get("metrics", "");
+    // 0 = auto (exec::default_jobs()); an explicit value must be >= 1.
+    // Rounds stay sequential (round R's report prints before R+1 starts);
+    // the stack x seed matrix inside each round fans out.
+    const int jobs = scc::exec::jobs_flag(flags);
     for (const std::string& name : flags.unconsumed()) {
       std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
       return 2;
@@ -130,6 +136,7 @@ int main(int argc, char** argv) {
               : (rng.below(3) == 0 ? 1'876'173ULL * (1 + rng.below(10)) : 0);
       spec.model_contention = rng.below(3) == 0;
       spec.trace = recorder ? &*recorder : nullptr;
+      spec.jobs = jobs;
 
       const scc::harness::ConformanceReport report =
           scc::harness::run_conformance(spec);

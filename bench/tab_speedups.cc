@@ -28,6 +28,9 @@ SweepResult sweep_of(Collective coll) {
   spec.repetitions = static_cast<int>(scc::bench::env_size("SCC_BENCH_REPS", 2));
   spec.warmup = 1;
   spec.verify = false;
+  // --jobs=N (0 = hardware concurrency): cells fan out inside run_sweep;
+  // the merged SweepResult is identical for every jobs value.
+  spec.jobs = scc::bench::options().jobs;
   return scc::harness::run_sweep(spec);
 }
 
@@ -45,6 +48,7 @@ void bench_sweep(benchmark::State& state, Collective coll,
 }  // namespace
 
 int main(int argc, char** argv) {
+  scc::bench::parse_instrumentation_flags(argc, argv);
   const Collective collectives[] = {
       Collective::kAllgather, Collective::kAlltoall,
       Collective::kReduceScatter, Collective::kBroadcast, Collective::kReduce,

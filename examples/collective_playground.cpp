@@ -6,9 +6,9 @@
 //   collective_playground [--collective=allreduce|allgather|alltoall|
 //                           reducescatter|broadcast|reduce]
 //                         [--variant=blocking|ircce|lightweight|lw-balanced|
-//                           mpb|rckmpi]
+//                           mpb|rckmpi|all]
 //                         [--elements=N] [--reps=K] [--mesh=6x4] [--no-bug]
-//                         [--profile] [--trace=out.json]
+//                         [--jobs=N] [--profile] [--trace=out.json]
 //                         [--metrics=out.json] [--blame]
 //
 // --trace writes a chrome://tracing / Perfetto timeline of the run (plus
@@ -16,14 +16,23 @@
 // --metrics writes the full counter snapshot (scc-metrics-v1 JSON); --blame
 // prints the critical-path blame report of the last measured repetition
 // (which phases on which cores/links the end-to-end latency is spent in).
+//
+// --variant=all runs every paper variant of the collective (each on its own
+// simulated machine) and prints one comparison table with speedups over the
+// blocking baseline; --jobs=N fans those independent simulations out over N
+// host threads (default: hardware concurrency; the table is byte-identical
+// for every N). The per-run instrumentation flags (--trace, --metrics,
+// --blame, --profile) target a single run and are rejected in this mode.
 #include <cstdio>
 #include <exception>
 #include <iostream>
 #include <optional>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
+#include "exec/executor.hpp"
 #include "harness/runner.hpp"
 #include "metrics/blame.hpp"
 #include "trace/chrome_export.hpp"
@@ -61,7 +70,10 @@ int main(int argc, char** argv) {
     const CliFlags flags = CliFlags::parse(argc, argv);
     harness::RunSpec spec;
     spec.collective = parse_collective(flags.get("collective", "allreduce"));
-    spec.variant = parse_variant(flags.get("variant", "lw-balanced"));
+    const std::string variant_flag = flags.get("variant", "lw-balanced");
+    const bool all_variants = variant_flag == "all";
+    const int jobs = exec::jobs_flag(flags);
+    if (!all_variants) spec.variant = parse_variant(variant_flag);
     spec.elements = static_cast<std::size_t>(flags.get_int("elements", 552));
     spec.repetitions = static_cast<int>(flags.get_int("reps", 4));
     spec.collect_profiles = flags.get_bool("profile", false);
@@ -76,6 +88,53 @@ int main(int argc, char** argv) {
     const std::string metrics_path = flags.get("metrics", "");
     const bool blame = flags.get_bool("blame", false);
     spec.collect_metrics = !metrics_path.empty();
+
+    if (all_variants) {
+      if (!trace_path.empty() || !metrics_path.empty() || blame ||
+          spec.collect_profiles) {
+        throw std::runtime_error(
+            "--variant=all compares variants; --trace/--metrics/--blame/"
+            "--profile target a single run (pick one variant)");
+      }
+      // Each variant simulates on its own machine; results are merged in
+      // variant order, so the table is the same for every --jobs value.
+      const std::vector<PaperVariant> variants =
+          harness::variants_for(spec.collective);
+      const std::vector<harness::RunResult> results =
+          exec::parallel_map<harness::RunResult>(
+              variants.size(), jobs, [&](std::size_t i) {
+                harness::RunSpec run = spec;
+                run.variant = variants[i];
+                return harness::run_collective(run);
+              });
+      std::printf("%s, %zu doubles on %d cores (%sx%s tiles), %d reps\n\n",
+                  std::string(harness::collective_name(spec.collective))
+                      .c_str(),
+                  spec.elements, spec.config.num_cores(), mesh[0].c_str(),
+                  mesh[1].c_str(), spec.repetitions);
+      double blocking_us = 0.0;
+      for (std::size_t i = 0; i < variants.size(); ++i) {
+        if (variants[i] == PaperVariant::kBlocking)
+          blocking_us = results[i].mean_latency.us();
+      }
+      Table table({"variant", "mean", "min", "max", "events",
+                   "vs blocking"});
+      for (std::size_t i = 0; i < variants.size(); ++i) {
+        const harness::RunResult& r = results[i];
+        table.add_row(
+            {std::string(harness::variant_name(variants[i])),
+             format_duration_us(r.mean_latency.us()),
+             format_duration_us(r.min_latency.us()),
+             format_duration_us(r.max_latency.us()),
+             strprintf("%llu", static_cast<unsigned long long>(r.events)),
+             blocking_us > 0.0
+                 ? strprintf("%.2fx", blocking_us / r.mean_latency.us())
+                 : "n/a"});
+      }
+      table.print(std::cout);
+      return 0;
+    }
+
     std::optional<trace::Recorder> recorder;
     if (!trace_path.empty() || blame) {  // blame replays the trace intervals
       recorder.emplace(/*capacity=*/std::size_t{1} << 20);

@@ -1,8 +1,11 @@
 #include "harness/conformance.hpp"
 
+#include <iterator>
 #include <stdexcept>
+#include <vector>
 
 #include "common/string_util.hpp"
+#include "exec/executor.hpp"
 
 namespace scc::harness {
 
@@ -76,6 +79,7 @@ std::string ConformanceReport::summary() const {
 ConformanceReport run_conformance(const ConformanceSpec& spec) {
   SCC_EXPECTS(spec.perturb_seeds >= 1);
   SCC_EXPECTS(spec.tiles_x >= 1 && spec.tiles_y >= 1);
+  SCC_EXPECTS(spec.jobs >= 0);
 
   ConformanceReport report;
   report.configuration = strprintf(
@@ -85,80 +89,116 @@ ConformanceReport run_conformance(const ConformanceSpec& spec) {
       spec.split == coll::SplitPolicy::kBalanced ? "balanced" : "standard",
       static_cast<unsigned long long>(spec.max_delay_fs));
 
-  // Baseline outputs of the first stack that produced one; all later
-  // baselines and every perturbed run must agree element-wise with it.
-  std::optional<std::vector<std::vector<double>>> reference;
+  // Execution phase: the whole stack x (1 baseline + K perturbed) matrix
+  // is one flat job list of independent simulations (each on its own
+  // machine). Outcomes -- results or thrown messages -- are captured per
+  // job; no verdict is derived here, so execution order cannot influence
+  // the report.
+  struct Outcome {
+    std::optional<RunResult> result;
+    std::string error;
+  };
+  const std::size_t runs_per_stack =
+      1 + static_cast<std::size_t>(spec.perturb_seeds);
+  const std::size_t stacks = std::size(coll::kAllPrims);
+  const auto job_spec = [&](std::size_t job) {
+    const coll::Prims prims = coll::kAllPrims[job / runs_per_stack];
+    const std::size_t r = job % runs_per_stack;
+    RunSpec run = base_run_spec(spec, prims);
+    if (r > 0) {
+      run.config.perturb_seed =
+          spec.perturb_seed_base + static_cast<std::uint64_t>(r - 1);
+      run.config.perturb_max_delay_fs = spec.max_delay_fs;
+    }
+    return run;
+  };
+  // A shared trace recorder serializes; jobs=1 preserves the serial run
+  // scope order (stack-major, baseline before seeds) exactly.
+  const int jobs = spec.trace != nullptr ? 1 : spec.jobs;
+  const std::vector<Outcome> outcomes = exec::parallel_map<Outcome>(
+      stacks * runs_per_stack, jobs, [&](std::size_t job) {
+        Outcome out;
+        try {
+          out.result = run_collective(job_spec(job));
+        } catch (const std::exception& e) {
+          // Deadlock or serial-reference verification failure under this
+          // interleaving; the engine's message already names the stuck
+          // cores and perturbation seed.
+          out.error = e.what();
+        }
+        return out;
+      });
 
-  for (const coll::Prims prims : coll::kAllPrims) {
-    const std::string stack_name{coll::prims_name(prims)};
+  // Merge phase: spec order (stacks outer, baseline then seeds), byte-
+  // identical to the historical serial loop. Note jobs>1 simulates the
+  // perturbed runs even when the stack's baseline failed (the serial path
+  // skipped them); the wasted work only occurs on already-failing
+  // configurations and never reaches the report.
+  std::optional<std::vector<std::vector<double>>> reference;
+  for (std::size_t s = 0; s < stacks; ++s) {
+    const std::string stack_name{coll::prims_name(coll::kAllPrims[s])};
     const auto record = [&](std::optional<std::uint64_t> perturb_seed,
                             std::string what) {
       report.failures.push_back(ConformanceFailure{
           stack_name, spec.engine_seed, perturb_seed, std::move(what)});
     };
 
-    // Unperturbed baseline for this stack.
-    RunSpec run = base_run_spec(spec, prims);
-    std::optional<RunResult> baseline;
+    const Outcome& base_out = outcomes[s * runs_per_stack];
     ++report.runs;
-    try {
-      baseline = run_collective(run);
-    } catch (const std::exception& e) {
-      record(std::nullopt, e.what());
+    if (!base_out.result) {
+      record(std::nullopt, base_out.error);
       continue;  // no baseline -> perturbed runs have nothing to diff against
     }
+    const RunResult& baseline = *base_out.result;
     if (reference) {
       // Cross-stack differential check: the wire protocol and data results
       // are meant to be identical across the three layers.
-      const std::string diff = diff_outputs(baseline->outputs, *reference);
+      const std::string diff = diff_outputs(baseline.outputs, *reference);
       if (!diff.empty()) record(std::nullopt, "cross-stack mismatch: " + diff);
     } else {
-      reference = baseline->outputs;
-      if (baseline->metrics) report.baseline_metrics = *baseline->metrics;
+      reference = baseline.outputs;
+      if (baseline.metrics) report.baseline_metrics = *baseline.metrics;
     }
 
     for (int k = 0; k < spec.perturb_seeds; ++k) {
       const std::uint64_t pseed =
           spec.perturb_seed_base + static_cast<std::uint64_t>(k);
-      run.config.perturb_seed = pseed;
-      run.config.perturb_max_delay_fs = spec.max_delay_fs;
+      const Outcome& out =
+          outcomes[s * runs_per_stack + 1 + static_cast<std::size_t>(k)];
       ++report.runs;
-      try {
-        const RunResult perturbed = run_collective(run);
-        const std::string diff =
-            diff_outputs(perturbed.outputs, baseline->outputs);
-        if (!diff.empty()) record(pseed, "result mismatch: " + diff);
-        if (perturbed.lines_sent != baseline->lines_sent ||
-            perturbed.line_hops != baseline->line_hops) {
+      if (!out.result) {
+        record(pseed, out.error);
+        continue;
+      }
+      const RunResult& perturbed = *out.result;
+      const std::string diff = diff_outputs(perturbed.outputs,
+                                            baseline.outputs);
+      if (!diff.empty()) record(pseed, "result mismatch: " + diff);
+      if (perturbed.lines_sent != baseline.lines_sent ||
+          perturbed.line_hops != baseline.line_hops) {
+        record(pseed,
+               strprintf("traffic drift: lines_sent %llu vs %llu, "
+                         "line_hops %llu vs %llu",
+                         static_cast<unsigned long long>(
+                             perturbed.lines_sent),
+                         static_cast<unsigned long long>(
+                             baseline.lines_sent),
+                         static_cast<unsigned long long>(
+                             perturbed.line_hops),
+                         static_cast<unsigned long long>(
+                             baseline.line_hops)));
+      }
+      if (spec.compare_metrics && baseline.metrics && perturbed.metrics) {
+        const std::vector<std::string> drift =
+            metrics::MetricsRegistry::diff_invariant(*baseline.metrics,
+                                                     *perturbed.metrics);
+        if (!drift.empty()) {
+          // One failure per seed, leading with the first drifted counter
+          // (a real bug typically drifts dozens of paths at once).
           record(pseed,
-                 strprintf("traffic drift: lines_sent %llu vs %llu, "
-                           "line_hops %llu vs %llu",
-                           static_cast<unsigned long long>(
-                               perturbed.lines_sent),
-                           static_cast<unsigned long long>(
-                               baseline->lines_sent),
-                           static_cast<unsigned long long>(
-                               perturbed.line_hops),
-                           static_cast<unsigned long long>(
-                               baseline->line_hops)));
+                 strprintf("metric drift (%zu path(s)): %s", drift.size(),
+                           drift.front().c_str()));
         }
-        if (spec.compare_metrics && baseline->metrics && perturbed.metrics) {
-          const std::vector<std::string> drift =
-              metrics::MetricsRegistry::diff_invariant(*baseline->metrics,
-                                                       *perturbed.metrics);
-          if (!drift.empty()) {
-            // One failure per seed, leading with the first drifted counter
-            // (a real bug typically drifts dozens of paths at once).
-            record(pseed,
-                   strprintf("metric drift (%zu path(s)): %s", drift.size(),
-                             drift.front().c_str()));
-          }
-        }
-      } catch (const std::exception& e) {
-        // Deadlock or serial-reference verification failure under this
-        // interleaving; the message from the engine already names the
-        // stuck cores and perturbation seed.
-        record(pseed, e.what());
       }
     }
   }

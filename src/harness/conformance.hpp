@@ -64,6 +64,12 @@ struct ConformanceSpec {
   /// into this recorder, each as its own run scope -- useful to visually
   /// compare the interleaving a failing perturbation seed produced.
   trace::Recorder* trace = nullptr;
+  /// Host worker threads for the stack x (baseline + K seeds) matrix: 1 =
+  /// serial, 0 = exec::default_jobs(). Every run simulates on its own
+  /// machine; verdicts are derived in a deterministic merge pass in spec
+  /// order, so the report (runs, failures, summary) is identical for every
+  /// jobs value. A non-null `trace` recorder forces serial execution.
+  int jobs = 1;
 };
 
 struct ConformanceFailure {

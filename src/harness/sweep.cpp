@@ -1,9 +1,11 @@
 #include "harness/sweep.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/contracts.hpp"
 #include "common/string_util.hpp"
+#include "exec/executor.hpp"
 
 namespace scc::harness {
 
@@ -65,31 +67,54 @@ Table SweepResult::to_table() const {
 SweepResult run_sweep(const SweepSpec& spec) {
   SCC_EXPECTS(spec.from <= spec.to);
   SCC_EXPECTS(spec.step >= 1);
+  SCC_EXPECTS(spec.jobs >= 0);
   SweepResult result;
   result.variants = spec.variants.empty() ? variants_for(spec.collective)
                                           : spec.variants;
+
+  // Flatten the (size x variant) grid into one job list; every cell is an
+  // independent simulation on its own machine.
+  std::vector<std::size_t> sizes;
   for (std::size_t n = spec.from; n <= spec.to; n += spec.step) {
+    sizes.push_back(n);
+  }
+  const std::size_t stride = result.variants.size();
+  const auto cell_spec = [&](std::size_t job) {
+    RunSpec run;
+    run.collective = spec.collective;
+    run.variant = result.variants[job % stride];
+    run.elements = sizes[job / stride];
+    run.repetitions = spec.repetitions;
+    run.warmup = spec.warmup;
+    run.seed = spec.seed;
+    run.verify = spec.verify;
+    run.trace = spec.trace;
+    run.config = spec.config;
+    run.collect_metrics = spec.collect_metrics;
+    return run;
+  };
+
+  // A shared recorder is mutated by every traced run: serialize then, so
+  // the trace stream keeps its deterministic serial order.
+  const int jobs = spec.trace != nullptr ? 1 : spec.jobs;
+  const std::vector<RunResult> cells = exec::parallel_map<RunResult>(
+      sizes.size() * stride, jobs,
+      [&](std::size_t job) { return run_collective(cell_spec(job)); });
+
+  // Deterministic merge: spec order (sizes outer, variants inner), exactly
+  // the order the serial loop produced and the order absorb() prefixes
+  // were historically applied in.
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
     SweepPoint point;
-    point.elements = n;
-    for (const PaperVariant v : result.variants) {
-      RunSpec run;
-      run.collective = spec.collective;
-      run.variant = v;
-      run.elements = n;
-      run.repetitions = spec.repetitions;
-      run.warmup = spec.warmup;
-      run.seed = spec.seed;
-      run.verify = spec.verify;
-      run.trace = spec.trace;
-      run.config = spec.config;
-      run.collect_metrics = spec.collect_metrics;
-      const RunResult rr = run_collective(run);
+    point.elements = sizes[si];
+    for (std::size_t vi = 0; vi < stride; ++vi) {
+      const RunResult& rr = cells[si * stride + vi];
       point.latency_us.push_back(rr.mean_latency.us());
       if (rr.metrics) {
         result.metrics.absorb(
             *rr.metrics,
-            strprintf("point/%zu/%s/", n,
-                      std::string(variant_name(v)).c_str()));
+            strprintf("point/%zu/%s/", sizes[si],
+                      std::string(variant_name(result.variants[vi])).c_str()));
       }
     }
     result.points.push_back(std::move(point));

@@ -29,6 +29,12 @@ struct SweepSpec {
   /// When true, SweepResult::metrics holds every point's counter snapshot,
   /// each under the prefix "point/<elements>/<variant>/".
   bool collect_metrics = false;
+  /// Host worker threads for the (size x variant) grid: 1 = serial, 0 =
+  /// exec::default_jobs(). Each grid cell simulates on its own machine and
+  /// results are merged in spec order, so the output -- tables, CSV bytes,
+  /// absorbed metrics -- is identical for every jobs value. A non-null
+  /// `trace` recorder is shared mutable state and forces serial execution.
+  int jobs = 1;
 };
 
 struct SweepPoint {

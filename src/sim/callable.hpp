@@ -1,0 +1,120 @@
+// Small-buffer move-only callable for engine events.
+//
+// std::function is copyable, so storing one per event forces every capture
+// onto the heap the moment it outgrows the (implementation-defined, small)
+// inline buffer, and drags copy machinery through the hot event loop. The
+// engine only ever moves events and invokes each callable once, so this
+// type supports exactly that: a fixed inline buffer sized for every
+// callable the simulator schedules (lambdas capturing a few pointers),
+// with a heap fallback for oversized ones rather than a compile error --
+// test code may capture liberally.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace scc::sim {
+
+class SmallCallable {
+ public:
+  /// Inline capacity: covers captures up to six pointers/words, which is
+  /// larger than anything the simulator itself schedules.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallCallable() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, SmallCallable> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  SmallCallable(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buffer_)) Fn(std::forward<F>(fn));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buffer_))
+          Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  SmallCallable(SmallCallable&& other) noexcept : ops_(other.ops_) {
+    if (ops_) {
+      ops_->relocate(buffer_, other.buffer_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  SmallCallable& operator=(SmallCallable&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_) {
+        ops_->relocate(buffer_, other.buffer_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallCallable(const SmallCallable&) = delete;
+  SmallCallable& operator=(const SmallCallable&) = delete;
+
+  ~SmallCallable() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buffer_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(std::byte* storage);
+    // Move-construct into `dst` from `src` and destroy `src` (for the
+    // inline case; the heap case just moves the owning pointer over).
+    void (*relocate)(std::byte* dst, std::byte* src);
+    void (*destroy)(std::byte* storage);
+  };
+
+  template <typename Fn>
+  static Fn* as(std::byte* storage) {
+    return std::launder(reinterpret_cast<Fn*>(storage));
+  }
+
+  template <typename Fn>
+  static constexpr Ops inline_ops{
+      [](std::byte* s) { (*as<Fn>(s))(); },
+      [](std::byte* dst, std::byte* src) {
+        ::new (static_cast<void*>(dst)) Fn(std::move(*as<Fn>(src)));
+        as<Fn>(src)->~Fn();
+      },
+      [](std::byte* s) { as<Fn>(s)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops{
+      [](std::byte* s) { (**as<Fn*>(s))(); },
+      [](std::byte* dst, std::byte* src) {
+        // The stored pointer is trivially destructible; moving it over is
+        // an ownership transfer.
+        ::new (static_cast<void*>(dst)) Fn*(*as<Fn*>(src));
+      },
+      [](std::byte* s) { delete *as<Fn*>(s); },
+  };
+
+  void reset() {
+    if (ops_) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buffer_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace scc::sim

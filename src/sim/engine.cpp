@@ -13,7 +13,7 @@ void Engine::enable_perturbation(PerturbConfig config) {
 }
 
 void Engine::push_event(SimTime when, std::coroutine_handle<> h,
-                        std::function<void()> fn) {
+                        SmallCallable fn) {
   std::uint64_t tie = 0;
   if (perturb_) {
     tie = perturb_rng_();
@@ -25,8 +25,11 @@ void Engine::push_event(SimTime when, std::coroutine_handle<> h,
         ++stats_.perturb_delays;
         stats_.perturb_delay_total += delay;
         if (trace_) {
+          char detail[40];
+          std::snprintf(detail, sizeof detail, "+%llu fs",
+                        static_cast<unsigned long long>(delay.femtoseconds()));
           trace_->instant(trace::kEnginePid, "perturb", "inject-delay", now_,
-                          "+" + std::to_string(delay.femtoseconds()) + " fs");
+                          detail);
         }
       }
     }
@@ -37,12 +40,12 @@ void Engine::push_event(SimTime when, std::coroutine_handle<> h,
 void Engine::schedule_resume(SimTime when, std::coroutine_handle<> h) {
   SCC_EXPECTS(when >= now_);
   SCC_EXPECTS(h != nullptr);
-  push_event(when, h, nullptr);
+  push_event(when, h, {});
 }
 
-void Engine::schedule_call(SimTime when, std::function<void()> fn) {
+void Engine::schedule_call(SimTime when, SmallCallable fn) {
   SCC_EXPECTS(when >= now_);
-  SCC_EXPECTS(fn != nullptr);
+  SCC_EXPECTS(static_cast<bool>(fn));
   push_event(when, nullptr, std::move(fn));
 }
 
@@ -51,21 +54,27 @@ void Engine::spawn(Task<> task, std::string name) {
   if (trace_) {
     trace_->instant(trace::kEnginePid, "tasks", "spawn", now_, name);
   }
+  if (roots_.empty()) {
+    // Pre-size the pools once per program: typical machines launch tens of
+    // root tasks and keep a bounded frontier of pending events, so the hot
+    // loop then never grows either vector.
+    roots_.reserve(64);
+    queue_.reserve(256);
+  }
   roots_.push_back(Root{std::move(task), std::move(name)});
   // Task is lazy; kick it off at the current time through the queue so
   // spawn order equals first-run order (under perturbation the start order
   // is permuted like any other equal-time batch).
-  push_event(now_, roots_.back().task.native_handle(), nullptr);
+  push_event(now_, roots_.back().task.native_handle(), {});
 }
 
 void Engine::drain() {
   SCC_EXPECTS(!running_);
   running_ = true;
   while (!queue_.empty()) {
-    // priority_queue::top is const; the event is copied out (handles and
-    // std::function are cheap to move after const_cast-free copy).
-    Event ev = queue_.top();
-    queue_.pop();
+    // pop_min moves the event (and its callable) out of the heap: the hot
+    // loop neither copies events nor touches the allocator.
+    Event ev = queue_.pop_min();
     SCC_ASSERT(ev.when >= now_);
     now_ = ev.when;
     ++events_processed_;
@@ -80,6 +89,8 @@ void Engine::drain() {
 
 void Engine::run() {
   drain();
+  // Diagnostic strings are assembled only here, after the event loop has
+  // fully drained, with one up-front reservation -- never inside drain().
   std::string stuck;
   for (auto& root : roots_) {
     if (trace_) {
@@ -87,16 +98,25 @@ void Engine::run() {
                       root.task.done() ? "done" : "stuck", now_, root.name);
     }
     if (!root.task.done()) {
-      if (!stuck.empty()) stuck += ", ";
+      if (stuck.empty()) {
+        std::size_t bytes = 0;
+        for (const auto& r : roots_) bytes += r.name.size() + 2;
+        stuck.reserve(bytes);
+      } else {
+        stuck += ", ";
+      }
       stuck += root.name;
     }
   }
   if (!stuck.empty()) {
-    std::string msg = "simulation deadlock";
+    std::string msg;
+    msg.reserve(stuck.size() + 96);
+    msg += "simulation deadlock";
     msg += perturb_ ? " [perturbation seed " +
                           std::to_string(perturb_->seed) + "]"
                     : " [perturbation off]";
-    msg += ": event queue empty but tasks still blocked: " + stuck;
+    msg += ": event queue empty but tasks still blocked: ";
+    msg += stuck;
     throw std::runtime_error(msg);
   }
   for (auto& root : roots_) root.task.rethrow_if_failed();

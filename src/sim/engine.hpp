@@ -16,15 +16,16 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
+#include <cstdio>
 #include <optional>
-#include <queue>
 #include <string>
 #include <vector>
 
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
+#include "sim/callable.hpp"
+#include "sim/event_heap.hpp"
 #include "sim/task.hpp"
 #include "trace/recorder.hpp"
 
@@ -92,16 +93,21 @@ class Engine {
     ++stats_.notifies;
     stats_.waiters_woken += waiters;
     if (trace_ && waiters > 0) {
-      trace_->instant(trace::kEnginePid, "waitqueue", "notify", now_,
-                      std::to_string(waiters) + " waiter(s)");
+      // One fixed-size stack buffer; no temporary string concatenation on
+      // the notify path (hot under tracing).
+      char detail[32];
+      std::snprintf(detail, sizeof detail, "%zu waiter(s)", waiters);
+      trace_->instant(trace::kEnginePid, "waitqueue", "notify", now_, detail);
     }
   }
 
   /// Resume `h` at absolute time `when` (must be >= now()).
   void schedule_resume(SimTime when, std::coroutine_handle<> h);
 
-  /// Run `fn` at absolute time `when` (must be >= now()).
-  void schedule_call(SimTime when, std::function<void()> fn);
+  /// Run `fn` at absolute time `when` (must be >= now()). The callable is
+  /// invoked exactly once; captures up to SmallCallable::kInlineBytes stay
+  /// allocation-free.
+  void schedule_call(SimTime when, SmallCallable fn);
 
   /// Awaitable: suspend the current coroutine for `duration`.
   /// Zero-duration sleeps still round-trip through the queue so two tasks
@@ -145,7 +151,11 @@ class Engine {
     std::uint64_t tie;  // 0 unperturbed; seeded-random key under perturbation
     std::uint64_t seq;
     std::coroutine_handle<> handle;    // either handle ...
-    std::function<void()> call;        // ... or call is set
+    SmallCallable call;                // ... or call is set
+    Event() : when(), tie(0), seq(0), handle(nullptr) {}
+    Event(SimTime w, std::uint64_t t, std::uint64_t s,
+          std::coroutine_handle<> h, SmallCallable c)
+        : when(w), tie(t), seq(s), handle(h), call(std::move(c)) {}
     friend bool operator>(const Event& a, const Event& b) {
       if (a.when != b.when) return a.when > b.when;
       if (a.tie != b.tie) return a.tie > b.tie;
@@ -159,10 +169,9 @@ class Engine {
   };
 
   void drain();
-  void push_event(SimTime when, std::coroutine_handle<> h,
-                  std::function<void()> fn);
+  void push_event(SimTime when, std::coroutine_handle<> h, SmallCallable fn);
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  MoveHeap<Event, std::greater<>> queue_;
   std::vector<Root> roots_;
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;

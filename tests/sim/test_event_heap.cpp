@@ -1,0 +1,146 @@
+// Unit tests for the engine's hot-path building blocks: the move-based
+// event heap (pop order must equal std::priority_queue's under a total
+// order) and the small-buffer move-only callable that replaced
+// std::function per event.
+#include "sim/event_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/callable.hpp"
+
+namespace scc::sim {
+namespace {
+
+TEST(MoveHeap, PopsAscendingUnderTotalOrder) {
+  MoveHeap<int, std::greater<>> heap;
+  Xoshiro256 rng(7);
+  std::vector<int> values;
+  for (int i = 0; i < 1000; ++i)
+    values.push_back(static_cast<int>(rng.below(1 << 20)));
+  for (int v : values) heap.push(std::move(v));
+  ASSERT_EQ(heap.size(), values.size());
+  int prev = -1;
+  while (!heap.empty()) {
+    const int got = heap.pop_min();
+    EXPECT_LE(prev, got);
+    prev = got;
+  }
+}
+
+TEST(MoveHeap, MatchesPriorityQueuePopOrderUnderInterleavedChurn) {
+  // The engine interleaves pushes and pops; with unique keys both heap
+  // implementations must agree on every pop (this is the determinism
+  // argument for swapping std::priority_queue out of the engine).
+  MoveHeap<std::uint64_t, std::greater<>> heap;
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<>>
+      reference;
+  Xoshiro256 rng(11);
+  std::uint64_t unique = 0;
+  for (int round = 0; round < 2000; ++round) {
+    if (reference.empty() || rng.below(3) != 0) {
+      // Unique key: (random << 16) | counter.
+      const std::uint64_t key = (rng.below(1 << 12) << 16) | unique++;
+      std::uint64_t copy = key;
+      heap.push(std::move(copy));
+      reference.push(key);
+    } else {
+      ASSERT_FALSE(heap.empty());
+      EXPECT_EQ(heap.pop_min(), reference.top());
+      reference.pop();
+    }
+  }
+  while (!reference.empty()) {
+    EXPECT_EQ(heap.pop_min(), reference.top());
+    reference.pop();
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(MoveHeap, MovesElementsInsteadOfCopying) {
+  // unique_ptr is move-only: this does not compile, let alone run, if the
+  // heap ever copies.
+  MoveHeap<std::unique_ptr<int>, decltype([](const std::unique_ptr<int>& a,
+                                             const std::unique_ptr<int>& b) {
+             // Empty slots (the transient hole) sort last.
+             if (!a || !b) return static_cast<bool>(b);
+             return *a > *b;
+           })>
+      heap;
+  for (int v : {5, 1, 4, 2, 3}) heap.push(std::make_unique<int>(v));
+  for (int want = 1; want <= 5; ++want) {
+    const std::unique_ptr<int> got = heap.pop_min();
+    ASSERT_TRUE(got);
+    EXPECT_EQ(*got, want);
+  }
+}
+
+TEST(SmallCallable, InvokesInlineCapture) {
+  int hits = 0;
+  SmallCallable fn([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallCallable, MoveTransfersOwnership) {
+  int hits = 0;
+  SmallCallable a([&hits] { ++hits; });
+  SmallCallable b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+  SmallCallable c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallCallable, OversizedCaptureFallsBackToHeapAndStillRuns) {
+  // > kInlineBytes of capture: must take the heap path transparently.
+  std::array<std::uint64_t, 16> payload{};
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = i * 3 + 1;
+  static_assert(sizeof(payload) > SmallCallable::kInlineBytes);
+  std::uint64_t sum = 0;
+  SmallCallable fn([payload, &sum] {
+    for (const std::uint64_t v : payload) sum += v;
+  });
+  SmallCallable moved = std::move(fn);
+  moved();
+  EXPECT_EQ(sum, 376u);  // sum of 3i+1 for i in [0, 16)
+}
+
+TEST(SmallCallable, DestroysCaptureExactlyOnce) {
+  int alive = 0;
+  struct Tracker {
+    int* alive;
+    explicit Tracker(int* a) : alive(a) { ++*alive; }
+    Tracker(const Tracker& o) : alive(o.alive) { ++*alive; }
+    Tracker(Tracker&& o) noexcept : alive(o.alive) { ++*alive; }
+    ~Tracker() { --*alive; }
+    void operator()() const {}
+  };
+  {
+    SmallCallable fn(Tracker{&alive});
+    EXPECT_EQ(alive, 1);
+    SmallCallable moved = std::move(fn);
+    EXPECT_EQ(alive, 1);  // relocate destroys the source capture
+    moved();
+    EXPECT_EQ(alive, 1);
+  }
+  EXPECT_EQ(alive, 0);  // both wrappers gone, no leak / double destroy
+}
+
+}  // namespace
+}  // namespace scc::sim
