@@ -1,0 +1,40 @@
+# bench-smoke regression gate for the algorithm-selection table, run as a
+# ctest (label "bench-smoke"): regenerates bench/tab_algo_select with its
+# default grid (lightweight variant, 6x4 mesh, sizes 8/48/192/552) and
+# diffs the scc-bench-v1 JSON two-sided against the committed baseline,
+# keyed by the "cell" column. The simulator is deterministic, so any drift
+# -- a lost algorithm win, a Selector pick whose latency moved, or a paper-
+# path change -- is a real model change; intentional recalibrations must
+# re-commit the baseline. Two-sided: an "improvement" in paper_us is just
+# as much unexplained drift as a regression in best_us.
+#
+# Required -D variables: TUNER, COMPARE (target binaries), BASELINE
+# (committed JSON), WORK_DIR (scratch; bench_results/ is written inside).
+foreach(var TUNER COMPARE BASELINE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "algo_select_smoke.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+execute_process(
+  COMMAND "${TUNER}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE tuner_rc)
+if(NOT tuner_rc EQUAL 0)
+  message(FATAL_ERROR "tab_algo_select failed (exit ${tuner_rc})")
+endif()
+
+execute_process(
+  COMMAND "${COMPARE}"
+    "--baseline=${BASELINE}"
+    "--current=${WORK_DIR}/bench_results/tab_algo_select.json"
+    "--key=cell"
+    "--two-sided"
+  RESULT_VARIABLE compare_rc)
+if(NOT compare_rc EQUAL 0)
+  message(FATAL_ERROR
+    "algo-select gate failed (exit ${compare_rc}); if the change is "
+    "intentional, re-commit bench_results/baselines/tab_algo_select.json "
+    "from the fresh ${WORK_DIR}/bench_results/tab_algo_select.json")
+endif()

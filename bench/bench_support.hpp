@@ -28,6 +28,11 @@
 //                       registration order, so every output byte -- tables,
 //                       CSV, JSON, metrics -- is identical to --jobs=1.
 //                       --blame shares one trace recorder and forces serial.
+//   --algo=<name|auto> -- run the swept collective under this algorithm
+//                       (coll/algos.hpp) on the Stack-based variants;
+//                       RCKMPI and MPB keep their own schedule, so the
+//                       figure compares the override against them. Errors
+//                       out for collectives without algorithm variants.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -103,6 +108,7 @@ struct BenchOptions {
   std::string metrics_path;  // empty: metrics collection off
   bool blame = false;
   int jobs = 0;  // 0: exec::default_jobs() (hardware concurrency)
+  std::optional<coll::Algo> algo;  // --algo: unset = paper algorithm
 };
 
 inline BenchOptions& options() {
@@ -166,6 +172,16 @@ inline void parse_instrumentation_flags(int& argc, char** argv) {
     }
     if (arg.rfind("--jobs=", 0) == 0) {
       options().jobs = parse_jobs_value(arg.substr(7));
+      continue;
+    }
+    if (arg.rfind("--algo=", 0) == 0) {
+      const auto algo = coll::parse_algo(arg.substr(7));
+      if (!algo) {
+        std::fprintf(stderr, "error: unknown --algo '%s'\n",
+                     std::string(arg.substr(7)).c_str());
+        std::exit(2);
+      }
+      options().algo = *algo;
       continue;
     }
     argv[out++] = argv[i];
@@ -256,6 +272,12 @@ inline harness::RunSpec point_spec(harness::Collective coll,
   spec.warmup = 1;
   spec.verify = false;
   spec.collect_metrics = !options().metrics_path.empty();
+  // --algo targets the Stack-based variants; RCKMPI and the MPB-direct
+  // path have no algorithm dimension and keep their own schedule.
+  if (options().algo && variant != harness::PaperVariant::kRckmpi &&
+      variant != harness::PaperVariant::kMpb) {
+    spec.algo = options().algo;
+  }
   return spec;
 }
 

@@ -11,6 +11,13 @@
 //   perturb_soak --collective=allreduce --delay-fs=2000000 --verbose
 //   perturb_soak --rounds=1 --master-seed=7 --trace=replay.json
 //   perturb_soak --rounds=1 --metrics=soak_metrics.json
+//   perturb_soak --collective=allgather --algo=bruck   # pin one algorithm
+//
+// Rounds whose collective has algorithm variants (coll/algos.hpp) sample
+// the algorithm dimension too -- paper default, each implemented variant,
+// or the auto Selector -- unless --algo pins one; the chosen algorithm is
+// part of the round's deterministic (master-seed, round) draw and appears
+// in the configuration line.
 //
 // Every round is fully determined by (--master-seed, round index): a failed
 // round can be reproduced alone via --rounds=1 --master-seed=<reported>,
@@ -76,6 +83,7 @@ int main(int argc, char** argv) {
     // Rounds stay sequential (round R's report prints before R+1 starts);
     // the stack x seed matrix inside each round fans out.
     const int jobs = scc::exec::jobs_flag(flags);
+    const std::string algo_flag = flags.get("algo", "");
     for (const std::string& name : flags.unconsumed()) {
       std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
       return 2;
@@ -101,6 +109,14 @@ int main(int argc, char** argv) {
       if (!fixed_collective) {
         std::fprintf(stderr, "unknown collective '%s'\n",
                      collective_flag.c_str());
+        return 2;
+      }
+    }
+    std::optional<scc::coll::Algo> fixed_algo;
+    if (!algo_flag.empty()) {
+      fixed_algo = scc::coll::parse_algo(algo_flag);
+      if (!fixed_algo) {
+        std::fprintf(stderr, "unknown algorithm '%s'\n", algo_flag.c_str());
         return 2;
       }
     }
@@ -135,6 +151,22 @@ int main(int argc, char** argv) {
               ? static_cast<std::uint64_t>(fixed_delay_fs)
               : (rng.below(3) == 0 ? 1'876'173ULL * (1 + rng.below(10)) : 0);
       spec.model_contention = rng.below(3) == 0;
+      // Algorithm dimension (only for collectives that have one): pick 0 =
+      // paper default (no override), 1..k = the implemented variants, k+1 =
+      // the auto Selector.
+      if (const auto kind = scc::harness::algo_kind(spec.collective)) {
+        if (fixed_algo) {
+          spec.algo = fixed_algo;
+        } else {
+          const auto& algos = scc::coll::algos_for(*kind);
+          const std::uint64_t pick = rng.below(algos.size() + 2);
+          if (pick == algos.size() + 1) {
+            spec.algo = scc::coll::Algo::kAuto;
+          } else if (pick >= 1) {
+            spec.algo = algos[pick - 1];
+          }
+        }
+      }
       spec.trace = recorder ? &*recorder : nullptr;
       spec.jobs = jobs;
 

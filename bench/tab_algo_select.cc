@@ -1,0 +1,172 @@
+// Algorithm-selection tuner: sweeps every implemented algorithm of every
+// collective that has variants (coll/algos.hpp) over a size grid and emits
+// the measured selection table -- which algorithm is fastest per
+// (collective, n) cell, by how much it beats the paper's schedule, and
+// whether the analytic Selector (coll::select_algo) agrees.
+//
+//   tab_algo_select [--mesh=6x4] [--variant=lightweight]
+//                   [--sizes=8,48,192,552] [--reps=2] [--jobs=N]
+//
+// Output: aligned table on stdout plus bench_results/tab_algo_select.csv
+// and .json (scc-bench-v1). The JSON is the input of the bench-smoke
+// regression gate (bench/algo_select_smoke.cmake): rows are keyed by the
+// "cell" column and the numeric columns -- per-cell latencies and the
+// best-vs-paper speedup -- are diffed two-sided against the committed
+// baseline (bench_results/baselines/tab_algo_select.json), so both a lost
+// win and a selector pick that stops matching its committed latency fail
+// the gate. The string columns (best_algo, selected) ride along for humans
+// and are not diffed.
+//
+// The simulator is deterministic: identical flags reproduce identical
+// numbers, so the gate's tolerance only absorbs intentional cost-model
+// recalibrations (which must re-commit the baseline).
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "exec/executor.hpp"
+#include "harness/runner.hpp"
+
+namespace {
+
+using scc::coll::Algo;
+using scc::coll::CollKind;
+using scc::harness::Collective;
+using scc::harness::PaperVariant;
+
+/// The four collectives with an algorithm dimension.
+constexpr Collective kCollectives[] = {
+    Collective::kAllgather, Collective::kAlltoall, Collective::kReduceScatter,
+    Collective::kAllreduce};
+
+std::vector<std::size_t> parse_sizes(const std::string& flag) {
+  std::vector<std::size_t> sizes;
+  for (const std::string& part : scc::split(flag, ',')) {
+    const int v = std::stoi(part);
+    if (v < 1) throw std::runtime_error("--sizes entries must be >= 1");
+    sizes.push_back(static_cast<std::size_t>(v));
+  }
+  if (sizes.empty()) throw std::runtime_error("--sizes must not be empty");
+  return sizes;
+}
+
+PaperVariant parse_variant(const std::string& name) {
+  for (const PaperVariant v :
+       {PaperVariant::kBlocking, PaperVariant::kIrcce,
+        PaperVariant::kLightweight, PaperVariant::kLwBalanced}) {
+    if (name == scc::harness::variant_name(v)) return v;
+  }
+  throw std::runtime_error(
+      "unknown --variant (Stack-based variants only): " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scc;
+  try {
+    const CliFlags flags = CliFlags::parse(argc, argv);
+    const auto mesh = split(flags.get("mesh", "6x4"), 'x');
+    if (mesh.size() != 2) throw std::runtime_error("--mesh expects WxH");
+    const PaperVariant variant =
+        parse_variant(flags.get("variant", "lightweight"));
+    const std::vector<std::size_t> sizes =
+        parse_sizes(flags.get("sizes", "8,48,192,552"));
+    const int reps = static_cast<int>(flags.get_int("reps", 2));
+    const int jobs = exec::jobs_flag(flags);
+    for (const std::string& name : flags.unconsumed()) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+      return 2;
+    }
+
+    harness::RunSpec base;
+    base.variant = variant;
+    base.repetitions = reps;
+    base.warmup = 1;
+    base.verify = false;
+    base.config.tiles_x = std::stoi(mesh[0]);
+    base.config.tiles_y = std::stoi(mesh[1]);
+    const int p = base.config.num_cores();
+    const coll::Prims prims =
+        variant == PaperVariant::kBlocking  ? coll::Prims::kBlocking
+        : variant == PaperVariant::kIrcce   ? coll::Prims::kIrcce
+                                            : coll::Prims::kLightweight;
+
+    // Flattened (collective, n, algo) grid; every point simulates on its
+    // own machine, fanned out over --jobs and merged in grid order (the
+    // table is byte-identical for every jobs value).
+    struct Point {
+      Collective coll;
+      std::size_t n;
+      Algo algo;
+    };
+    std::vector<Point> points;
+    for (const Collective c : kCollectives) {
+      const CollKind kind = *harness::algo_kind(c);
+      for (const std::size_t n : sizes) {
+        for (const Algo a : coll::algos_for(kind)) points.push_back({c, n, a});
+      }
+    }
+    const std::vector<double> lat_us = exec::parallel_map<double>(
+        points.size(), jobs, [&](std::size_t i) {
+          harness::RunSpec spec = base;
+          spec.collective = points[i].coll;
+          spec.elements = points[i].n;
+          spec.algo = points[i].algo;
+          return harness::run_collective(spec).mean_latency.us();
+        });
+
+    std::printf(
+        "algorithm selection, %s variant, %d cores (%sx%s tiles), %d reps\n\n",
+        std::string(harness::variant_name(variant)).c_str(), p,
+        mesh[0].c_str(), mesh[1].c_str(), reps);
+    Table table({"cell", "elements", "paper_us", "best_us", "best_algo",
+                 "speedup", "selected", "selected_us"});
+    std::size_t i = 0;
+    for (const Collective c : kCollectives) {
+      const CollKind kind = *harness::algo_kind(c);
+      const auto& algos = coll::algos_for(kind);
+      for (const std::size_t n : sizes) {
+        double paper_us = 0.0, best_us = 0.0, selected_us = 0.0;
+        Algo best = algos.front();
+        const Algo selected = coll::select_algo(kind, n, p, prims);
+        for (const Algo a : algos) {
+          const double us = lat_us[i++];
+          if (a == coll::paper_algo(kind)) paper_us = us;
+          if (best_us == 0.0 || us < best_us) {
+            best_us = us;
+            best = a;
+          }
+          if (a == selected) selected_us = us;
+        }
+        table.add_row(
+            {strprintf("%s/%zu",
+                       std::string(harness::collective_name(c)).c_str(), n),
+             strprintf("%zu", n), strprintf("%.2f", paper_us),
+             strprintf("%.2f", best_us), std::string(coll::algo_name(best)),
+             strprintf("%.3f", paper_us / best_us),
+             std::string(coll::algo_name(selected)),
+             strprintf("%.2f", selected_us)});
+      }
+    }
+    table.print(std::cout);
+
+    std::filesystem::create_directories("bench_results");
+    table.write_csv_file("bench_results/tab_algo_select.csv");
+    table.write_json_file("bench_results/tab_algo_select.json",
+                          "tab_algo_select");
+    std::cout << "\nseries written to bench_results/tab_algo_select.csv and "
+                 "bench_results/tab_algo_select.json\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tab_algo_select: %s\n", e.what());
+    return 1;
+  }
+}

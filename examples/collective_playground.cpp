@@ -7,9 +7,15 @@
 //                           reducescatter|broadcast|reduce]
 //                         [--variant=blocking|ircce|lightweight|lw-balanced|
 //                           mpb|rckmpi|all]
+//                         [--algo=ring|bruck|recursive-doubling|
+//                           recursive-halving|ring-rs|pairwise|auto]
 //                         [--elements=N] [--reps=K] [--mesh=6x4] [--no-bug]
 //                         [--jobs=N] [--profile] [--trace=out.json]
 //                         [--metrics=out.json] [--blame]
+//
+// --algo overrides the collective's schedule (coll/algos.hpp) for the
+// RCCE-family variants; "auto" asks the Selector. Default: the paper's
+// algorithm.
 //
 // --trace writes a chrome://tracing / Perfetto timeline of the run (plus
 // <path>.links.csv with per-link utilization when contention is modeled).
@@ -19,10 +25,13 @@
 //
 // --variant=all runs every paper variant of the collective (each on its own
 // simulated machine) and prints one comparison table with speedups over the
-// blocking baseline; --jobs=N fans those independent simulations out over N
+// blocking baseline; for collectives with algorithm variants every
+// (variant, algorithm) pair becomes a row (RCKMPI and MPB only have their
+// own schedule). --jobs=N fans those independent simulations out over N
 // host threads (default: hardware concurrency; the table is byte-identical
 // for every N). The per-run instrumentation flags (--trace, --metrics,
-// --blame, --profile) target a single run and are rejected in this mode.
+// --blame, --profile) and --algo target a single run and are rejected in
+// this mode.
 #include <cstdio>
 #include <exception>
 #include <iostream>
@@ -74,6 +83,12 @@ int main(int argc, char** argv) {
     const bool all_variants = variant_flag == "all";
     const int jobs = exec::jobs_flag(flags);
     if (!all_variants) spec.variant = parse_variant(variant_flag);
+    const std::string algo_flag = flags.get("algo", "");
+    if (!algo_flag.empty()) {
+      const std::optional<coll::Algo> algo = coll::parse_algo(algo_flag);
+      if (!algo) throw std::runtime_error("unknown algorithm: " + algo_flag);
+      spec.algo = *algo;
+    }
     spec.elements = static_cast<std::size_t>(flags.get_int("elements", 552));
     spec.repetitions = static_cast<int>(flags.get_int("reps", 4));
     spec.collect_profiles = flags.get_bool("profile", false);
@@ -91,20 +106,40 @@ int main(int argc, char** argv) {
 
     if (all_variants) {
       if (!trace_path.empty() || !metrics_path.empty() || blame ||
-          spec.collect_profiles) {
+          spec.collect_profiles || spec.algo) {
         throw std::runtime_error(
-            "--variant=all compares variants; --trace/--metrics/--blame/"
-            "--profile target a single run (pick one variant)");
+            "--variant=all compares every variant (and algorithm); --trace/"
+            "--metrics/--blame/--profile/--algo target a single run (pick "
+            "one variant)");
       }
-      // Each variant simulates on its own machine; results are merged in
-      // variant order, so the table is the same for every --jobs value.
-      const std::vector<PaperVariant> variants =
-          harness::variants_for(spec.collective);
+      // One row per (variant, algorithm) pair. RCKMPI and the MPB-direct
+      // path have their own fixed schedule; the Stack-based variants run
+      // every implemented algorithm (the paper's first).
+      struct Cell {
+        PaperVariant variant;
+        std::optional<coll::Algo> algo;
+      };
+      const std::optional<coll::CollKind> kind =
+          harness::algo_kind(spec.collective);
+      std::vector<Cell> cells;
+      for (const PaperVariant v : harness::variants_for(spec.collective)) {
+        const bool stack_variant =
+            v != PaperVariant::kRckmpi && v != PaperVariant::kMpb;
+        if (kind && stack_variant) {
+          for (const coll::Algo a : coll::algos_for(*kind))
+            cells.push_back({v, a});
+        } else {
+          cells.push_back({v, std::nullopt});
+        }
+      }
+      // Each cell simulates on its own machine; results are merged in cell
+      // order, so the table is the same for every --jobs value.
       const std::vector<harness::RunResult> results =
           exec::parallel_map<harness::RunResult>(
-              variants.size(), jobs, [&](std::size_t i) {
+              cells.size(), jobs, [&](std::size_t i) {
                 harness::RunSpec run = spec;
-                run.variant = variants[i];
+                run.variant = cells[i].variant;
+                run.algo = cells[i].algo;
                 return harness::run_collective(run);
               });
       std::printf("%s, %zu doubles on %d cores (%sx%s tiles), %d reps\n\n",
@@ -112,17 +147,22 @@ int main(int argc, char** argv) {
                       .c_str(),
                   spec.elements, spec.config.num_cores(), mesh[0].c_str(),
                   mesh[1].c_str(), spec.repetitions);
+      // Baseline: blocking stack running the paper's algorithm.
       double blocking_us = 0.0;
-      for (std::size_t i = 0; i < variants.size(); ++i) {
-        if (variants[i] == PaperVariant::kBlocking)
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (cells[i].variant == PaperVariant::kBlocking &&
+            (!cells[i].algo ||
+             (kind && *cells[i].algo == coll::paper_algo(*kind))))
           blocking_us = results[i].mean_latency.us();
       }
-      Table table({"variant", "mean", "min", "max", "events",
+      Table table({"variant", "algo", "mean", "min", "max", "events",
                    "vs blocking"});
-      for (std::size_t i = 0; i < variants.size(); ++i) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
         const harness::RunResult& r = results[i];
         table.add_row(
-            {std::string(harness::variant_name(variants[i])),
+            {std::string(harness::variant_name(cells[i].variant)),
+             cells[i].algo ? std::string(coll::algo_name(*cells[i].algo))
+                           : std::string("-"),
              format_duration_us(r.mean_latency.us()),
              format_duration_us(r.min_latency.us()),
              format_duration_us(r.max_latency.us()),
@@ -142,9 +182,12 @@ int main(int argc, char** argv) {
     }
 
     const harness::RunResult result = harness::run_collective(spec);
-    std::printf("%s / %s, %zu doubles on %d cores (%sx%s tiles)\n",
+    std::printf("%s / %s%s%s, %zu doubles on %d cores (%sx%s tiles)\n",
                 std::string(harness::collective_name(spec.collective)).c_str(),
                 std::string(harness::variant_name(spec.variant)).c_str(),
+                spec.algo ? " algo=" : "",
+                spec.algo ? std::string(coll::algo_name(*spec.algo)).c_str()
+                          : "",
                 spec.elements, spec.config.num_cores(), mesh[0].c_str(),
                 mesh[1].c_str());
     std::printf("  mean latency : %s\n",

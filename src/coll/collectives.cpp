@@ -3,29 +3,15 @@
 #include <algorithm>
 #include <vector>
 
+#include "coll/detail.hpp"
 #include "common/aligned.hpp"
 
 namespace scc::coll {
 
 namespace {
 
-[[nodiscard]] std::span<const std::byte> as_b(std::span<const double> s) {
-  return std::as_bytes(s);
-}
-[[nodiscard]] std::span<std::byte> as_b(std::span<double> s) {
-  return std::as_writable_bytes(s);
-}
-
-/// Charged local element copy (used for self blocks / initial copies).
-sim::Task<> charged_copy(machine::CoreApi& api, std::span<const double> src,
-                         std::span<double> dst) {
-  SCC_EXPECTS(src.size() == dst.size());
-  if (src.empty()) co_return;
-  co_await api.priv_read(src.data(), src.size_bytes());
-  std::copy(src.begin(), src.end(), dst.begin());
-  co_await api.compute(src.size() * api.cost().sw.copy_cycles_per_element);
-  co_await api.priv_write(dst.data(), dst.size_bytes());
-}
+using detail::as_b;
+using detail::charged_copy;
 
 /// Ring ReduceScatter kernel (paper Fig. 2). `work` must already contain
 /// this core's input. After p-1 rounds, block (rank+1)%p of `work` holds
@@ -107,9 +93,10 @@ sim::Task<> reduce_binomial(Stack& stack, std::span<const double> in,
   }
 }
 
-/// Binomial-tree broadcast (shared with the Broadcast short path).
-sim::Task<> bcast_binomial_short(Stack& stack, std::span<double> data,
-                                 int root) {
+/// Binomial-tree broadcast of the full vector. The single shared kernel:
+/// both the Allreduce short path and Broadcast's short-vector path use it
+/// (they used to carry byte-identical copies, a drift hazard).
+sim::Task<> bcast_binomial(Stack& stack, std::span<double> data, int root) {
   const int p = stack.num_cores();
   const int rel = (stack.rank() - root + p) % p;
   int mask = 1;
@@ -135,13 +122,25 @@ sim::Task<> bcast_binomial_short(Stack& stack, std::span<double> data,
 }  // namespace
 
 sim::Task<> allgather(Stack& stack, std::span<const double> contribution,
-                      std::span<double> gathered) {
+                      std::span<double> gathered, Algo algo) {
   auto& api = stack.api();
   const int p = stack.num_cores();
   const int rank = stack.rank();
   const std::size_t n = contribution.size();
   SCC_EXPECTS(gathered.size() == n * static_cast<std::size_t>(p));
+  if (algo == Algo::kAuto) {
+    algo = select_algo(CollKind::kAllgather, n, p, stack.prims());
+  }
+  SCC_EXPECTS(algo_valid_for(CollKind::kAllgather, algo));
   co_await api.overhead(api.cost().sw.coll_call);
+  if (algo == Algo::kBruck) {
+    co_await allgather_bruck(stack, contribution, gathered);
+    co_return;
+  }
+  if (algo == Algo::kRecursiveDoubling) {
+    co_await allgather_recursive_doubling(stack, contribution, gathered);
+    co_return;
+  }
   co_await charged_copy(api, contribution,
                         gathered.subspan(static_cast<std::size_t>(rank) * n, n));
   if (p == 1) co_return;
@@ -158,14 +157,22 @@ sim::Task<> allgather(Stack& stack, std::span<const double> contribution,
 }
 
 sim::Task<> alltoall(Stack& stack, std::span<const double> sendbuf,
-                     std::span<double> recvbuf) {
+                     std::span<double> recvbuf, Algo algo) {
   auto& api = stack.api();
   const int p = stack.num_cores();
   const int rank = stack.rank();
   SCC_EXPECTS(sendbuf.size() == recvbuf.size());
   SCC_EXPECTS(sendbuf.size() % static_cast<std::size_t>(p) == 0);
   const std::size_t n = sendbuf.size() / static_cast<std::size_t>(p);
+  if (algo == Algo::kAuto) {
+    algo = select_algo(CollKind::kAlltoall, n, p, stack.prims());
+  }
+  SCC_EXPECTS(algo_valid_for(CollKind::kAlltoall, algo));
   co_await api.overhead(api.cost().sw.coll_call);
+  if (algo == Algo::kBruck) {
+    co_await alltoall_bruck(stack, sendbuf, recvbuf);
+    co_return;
+  }
   // Tournament pairing: in round r, i exchanges with the j solving
   // i + j == r (mod p); pairs are disjoint, so the schedule is contention-
   // and deadlock-free. When the round pairs a core with itself it copies
@@ -187,12 +194,20 @@ sim::Task<> alltoall(Stack& stack, std::span<const double> sendbuf,
 
 sim::Task<int> reduce_scatter(Stack& stack, std::span<const double> in,
                               std::span<double> out, ReduceOp op,
-                              SplitPolicy policy) {
+                              SplitPolicy policy, Algo algo) {
   auto& api = stack.api();
   const int p = stack.num_cores();
   const int rank = stack.rank();
   SCC_EXPECTS(out.size() == in.size());
+  if (algo == Algo::kAuto) {
+    algo = select_algo(CollKind::kReduceScatter, in.size(), p, stack.prims());
+  }
+  SCC_EXPECTS(algo_valid_for(CollKind::kReduceScatter, algo));
   co_await api.overhead(api.cost().sw.coll_call);
+  if (algo == Algo::kRecursiveHalving) {
+    co_return co_await reduce_scatter_recursive_halving(stack, in, out, op,
+                                                        policy);
+  }
   co_await charged_copy(api, in, out);
   if (p == 1) co_return 0;
   const auto blocks = split_blocks(in.size(), p, policy);
@@ -207,6 +222,10 @@ sim::Task<> reduce(Stack& stack, std::span<const double> in,
   const int p = stack.num_cores();
   const int rank = stack.rank();
   SCC_EXPECTS(root >= 0 && root < p);
+  // Only the root's out buffer is written, but it must hold the full
+  // vector: charged_copy and the linear-gather recvs below write
+  // out[b.offset, b.offset+b.count) for every block.
+  SCC_EXPECTS(rank != root || out.size() == in.size());
   co_await api.overhead(api.cost().sw.coll_call);
   if (p == 1) {
     co_await charged_copy(api, in, out);
@@ -241,16 +260,25 @@ sim::Task<> reduce(Stack& stack, std::span<const double> in,
 }
 
 sim::Task<> allreduce(Stack& stack, std::span<const double> in,
-                      std::span<double> out, ReduceOp op, SplitPolicy policy) {
+                      std::span<double> out, ReduceOp op, SplitPolicy policy,
+                      Algo algo) {
   auto& api = stack.api();
   const int p = stack.num_cores();
   SCC_EXPECTS(out.size() == in.size());
+  if (algo == Algo::kAuto) {
+    algo = select_algo(CollKind::kAllreduce, in.size(), p, stack.prims());
+  }
+  SCC_EXPECTS(algo_valid_for(CollKind::kAllreduce, algo));
   co_await api.overhead(api.cost().sw.coll_call);
+  if (algo == Algo::kRecursiveDoubling) {
+    co_await allreduce_recursive_doubling(stack, in, out, op);
+    co_return;
+  }
   if (p > 1 && in.size() < static_cast<std::size_t>(p)) {
     // Short vectors: binomial reduce to 0 + binomial broadcast
     // (RCCE_comm's small-message variant).
     co_await reduce_binomial(stack, in, out, op, 0);
-    co_await bcast_binomial_short(stack, out, 0);
+    co_await bcast_binomial(stack, out, 0);
     co_return;
   }
   co_await charged_copy(api, in, out);
@@ -262,31 +290,6 @@ sim::Task<> allreduce(Stack& stack, std::span<const double> in,
 }
 
 namespace {
-
-/// Binomial-tree broadcast of the full vector (short messages).
-sim::Task<> bcast_binomial(Stack& stack, std::span<double> data, int root) {
-  const int p = stack.num_cores();
-  const int rank = stack.rank();
-  const int rel = (rank - root + p) % p;
-  int mask = 1;
-  while (mask < p) {
-    if (rel & mask) {
-      const int src = (rel - mask + root + p) % p;
-      co_await stack.recv(as_b(data), src);
-      break;
-    }
-    mask <<= 1;
-  }
-  mask >>= 1;
-  while (mask > 0) {
-    if (rel + mask < p) {
-      const int dst = (rel + mask + root) % p;
-      co_await stack.send(as_b(std::span<const double>(data)), dst);
-    }
-    mask >>= 1;
-  }
-  co_return;
-}
 
 /// Binomial-tree scatter: after it, the core with relative rank r holds
 /// block r (relative to root) of `data`.

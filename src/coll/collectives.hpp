@@ -4,7 +4,7 @@
 // two orthogonal optimization axes of the paper. All functions are SPMD:
 // every core calls the same function with its own Stack and buffers.
 //
-// Algorithms (matching Section III/IV's description of RCCE_comm):
+// Default algorithms (matching Section III/IV's description of RCCE_comm):
 //   ReduceScatter  -- bucket/ring algorithm (Fig. 2)
 //   Allgather      -- ring over full per-core contributions
 //   Allreduce      -- ReduceScatter + ring Allgather of the reduced blocks
@@ -13,12 +13,18 @@
 //                     binomial tree of the whole vector (short vectors)
 //   Alltoall       -- pairwise exchange rounds (tournament pairing)
 //
+// Allgather, Alltoall, ReduceScatter and Allreduce additionally accept an
+// Algo (coll/algos.hpp) selecting an alternative schedule (Bruck,
+// recursive halving/doubling) or Algo::kAuto for the analytic Selector;
+// the default is always the paper's algorithm above.
+//
 // Element type is double (the paper's benchmarks use 8-byte doubles; four
 // per 32-byte cache line, which produces the period-4 latency spikes).
 #pragma once
 
 #include <span>
 
+#include "coll/algos.hpp"
 #include "coll/block_split.hpp"
 #include "coll/stack.hpp"
 #include "rcce/rcce.hpp"
@@ -35,20 +41,21 @@ inline constexpr std::size_t kBcastScatterThreshold = 128;
 /// Gathers each core's `contribution` (n elements) from all p cores into
 /// `gathered` (p*n elements, rank-major).
 sim::Task<> allgather(Stack& stack, std::span<const double> contribution,
-                      std::span<double> gathered);
+                      std::span<double> gathered, Algo algo = Algo::kRing);
 
 /// Personalized all-to-all: `sendbuf` holds p blocks of n elements (one per
 /// destination); `recvbuf` receives p blocks of n elements (one per
 /// source). n = sendbuf.size()/p.
 sim::Task<> alltoall(Stack& stack, std::span<const double> sendbuf,
-                     std::span<double> recvbuf);
+                     std::span<double> recvbuf, Algo algo = Algo::kPairwise);
 
-/// Ring ReduceScatter: fully reduces one block per core. `out` must have n
-/// elements; only the owned block's range is written. Returns the owned
-/// block index ((rank+1) mod p, an artefact of the ring direction).
+/// ReduceScatter: fully reduces one block per core. `out` must have n
+/// elements; only the owned block's range is guaranteed. Returns the owned
+/// block index, which depends on the algorithm ((rank+1) mod p for the
+/// ring, rank for recursive halving) -- callers must use the return value.
 sim::Task<int> reduce_scatter(Stack& stack, std::span<const double> in,
                               std::span<double> out, ReduceOp op,
-                              SplitPolicy policy);
+                              SplitPolicy policy, Algo algo = Algo::kRing);
 
 /// Reduction to `root`: out is written at the root only.
 sim::Task<> reduce(Stack& stack, std::span<const double> in,
@@ -57,7 +64,8 @@ sim::Task<> reduce(Stack& stack, std::span<const double> in,
 
 /// Reduction to all cores.
 sim::Task<> allreduce(Stack& stack, std::span<const double> in,
-                      std::span<double> out, ReduceOp op, SplitPolicy policy);
+                      std::span<double> out, ReduceOp op, SplitPolicy policy,
+                      Algo algo = Algo::kRingRS);
 
 /// Broadcast of `data` from `root` to everyone.
 sim::Task<> broadcast(Stack& stack, std::span<double> data, int root,

@@ -1,0 +1,33 @@
+// Internal helpers shared by the collective kernels (collectives.cpp and
+// algos.cpp). Not part of the public coll API.
+#pragma once
+
+#include <algorithm>
+#include <span>
+
+#include "coll/stack.hpp"
+#include "sim/task.hpp"
+
+namespace scc::coll::detail {
+
+[[nodiscard]] inline std::span<const std::byte> as_b(
+    std::span<const double> s) {
+  return std::as_bytes(s);
+}
+[[nodiscard]] inline std::span<std::byte> as_b(std::span<double> s) {
+  return std::as_writable_bytes(s);
+}
+
+/// Charged local element copy (used for self blocks / initial copies).
+inline sim::Task<> charged_copy(machine::CoreApi& api,
+                                std::span<const double> src,
+                                std::span<double> dst) {
+  SCC_EXPECTS(src.size() == dst.size());
+  if (src.empty()) co_return;
+  co_await api.priv_read(src.data(), src.size_bytes());
+  std::copy(src.begin(), src.end(), dst.begin());
+  co_await api.compute(src.size() * api.cost().sw.copy_cycles_per_element);
+  co_await api.priv_write(dst.data(), dst.size_bytes());
+}
+
+}  // namespace scc::coll::detail

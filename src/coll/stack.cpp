@@ -1,6 +1,7 @@
 #include "coll/stack.hpp"
 
 #include <array>
+#include <numeric>
 
 namespace scc::coll {
 
@@ -46,6 +47,31 @@ sim::Task<> Stack::exchange_pair(std::span<const std::byte> sbuf,
   } else {
     co_await rcce_.recv(rbuf, partner);
     co_await rcce_.send(sbuf, partner);
+  }
+}
+
+sim::Task<> Stack::exchange_shift(std::span<const std::byte> sbuf,
+                                  std::span<std::byte> rbuf, int dist) {
+  const int p = num_cores();
+  const int d = (dist % p + p) % p;
+  SCC_EXPECTS(d != 0);
+  const int dest = (rank() + d) % p;
+  const int src = (rank() - d + p) % p;
+  // Odd-even ordering is safe exactly when dest and src always differ in
+  // parity from rank (p even, d odd); exchange() also covers all
+  // non-blocking layers.
+  if (prims_ != Prims::kBlocking || (p % 2 == 0 && d % 2 == 1)) {
+    co_await exchange(sbuf, dest, rbuf, src);
+    co_return;
+  }
+  // Cycle-breaker ordering (see stack.hpp): the minimum of each shift
+  // cycle -- the congruence class mod gcd(p, d) -- receives first.
+  if (rank() < std::gcd(p, d)) {
+    co_await rcce_.recv(rbuf, src);
+    co_await rcce_.send(sbuf, dest);
+  } else {
+    co_await rcce_.send(sbuf, dest);
+    co_await rcce_.recv(rbuf, src);
   }
 }
 

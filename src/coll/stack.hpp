@@ -72,6 +72,21 @@ class Stack {
   sim::Task<> exchange_pair(std::span<const std::byte> sbuf,
                             std::span<std::byte> rbuf, int partner);
 
+  /// Shift-pattern round (Bruck phases): send `sbuf` to (rank + dist) mod p
+  /// while receiving `rbuf` from (rank - dist) mod p, dist != 0 mod p
+  /// (negative distances allowed). Non-blocking layers post both and
+  /// complete both. The blocking layer needs a distance-aware ordering:
+  /// odd-even pairing is deadlock-free only when send and receive partners
+  /// have opposite parity (p even and dist odd -- the ring case). For any
+  /// other (p, dist) the shift permutation decomposes into gcd(p, dist)
+  /// cycles whose members can share parity, so instead the smallest rank of
+  /// each cycle (rank < gcd) receives first and everyone else sends first:
+  /// the breaker drains its predecessor, completion propagates around each
+  /// cycle, and no cycle of waiting sends can close. This serializes each
+  /// cycle (the price the Selector charges Bruck on the blocking layer).
+  sim::Task<> exchange_shift(std::span<const std::byte> sbuf,
+                             std::span<std::byte> rbuf, int dist);
+
   /// One-directional transfer through the selected layer (tree phases of
   /// scatter/gather). Non-blocking layers post + immediately complete; the
   /// saving vs. blocking is their smaller call overhead.

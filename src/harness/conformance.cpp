@@ -20,7 +20,26 @@ PaperVariant variant_of(coll::Prims prims) {
   return PaperVariant::kBlocking;
 }
 
-RunSpec base_run_spec(const ConformanceSpec& spec, coll::Prims prims) {
+/// The concrete algorithm every run of this configuration uses, or nullopt
+/// for the paper default. kAuto is resolved here, once, prims-independently
+/// (with the lightweight layer's selector inputs), so the three stacks run
+/// the same schedule and their full output buffers stay comparable.
+std::optional<coll::Algo> resolved_algo(const ConformanceSpec& spec) {
+  if (!spec.algo) return std::nullopt;
+  if (*spec.algo != coll::Algo::kAuto) return spec.algo;
+  const auto kind = algo_kind(spec.collective);
+  if (!kind) {
+    throw std::runtime_error(strprintf(
+        "%s has no algorithm variants",
+        std::string(collective_name(spec.collective)).c_str()));
+  }
+  const int p = spec.tiles_x * spec.tiles_y * spec.cores_per_tile;
+  return coll::select_algo(*kind, spec.elements, p,
+                           coll::Prims::kLightweight);
+}
+
+RunSpec base_run_spec(const ConformanceSpec& spec, coll::Prims prims,
+                      std::optional<coll::Algo> algo) {
   RunSpec run;
   run.collective = spec.collective;
   run.variant = variant_of(prims);
@@ -32,9 +51,11 @@ RunSpec base_run_spec(const ConformanceSpec& spec, coll::Prims prims) {
   run.capture_outputs = true;
   run.collect_metrics = spec.compare_metrics;
   run.split_override = spec.split;
+  run.algo = algo;
   run.trace = spec.trace;
   run.config.tiles_x = spec.tiles_x;
   run.config.tiles_y = spec.tiles_y;
+  run.config.cores_per_tile = spec.cores_per_tile;
   run.config.cost.hw.model_link_contention = spec.model_contention;
   return run;
 }
@@ -79,15 +100,26 @@ std::string ConformanceReport::summary() const {
 ConformanceReport run_conformance(const ConformanceSpec& spec) {
   SCC_EXPECTS(spec.perturb_seeds >= 1);
   SCC_EXPECTS(spec.tiles_x >= 1 && spec.tiles_y >= 1);
+  SCC_EXPECTS(spec.cores_per_tile >= 1);
   SCC_EXPECTS(spec.jobs >= 0);
+  const std::optional<coll::Algo> algo = resolved_algo(spec);
 
   ConformanceReport report;
+  // The mesh's "x<cores_per_tile>" and the " algo=" suffix only appear for
+  // non-default values, keeping historical configuration lines unchanged.
   report.configuration = strprintf(
-      "%s n=%zu mesh=%dx%d split=%s delay=%llufs",
+      "%s n=%zu mesh=%dx%d%s split=%s delay=%llufs",
       std::string(collective_name(spec.collective)).c_str(), spec.elements,
       spec.tiles_x, spec.tiles_y,
+      spec.cores_per_tile == 2
+          ? ""
+          : strprintf("x%d", spec.cores_per_tile).c_str(),
       spec.split == coll::SplitPolicy::kBalanced ? "balanced" : "standard",
       static_cast<unsigned long long>(spec.max_delay_fs));
+  if (algo) {
+    report.configuration +=
+        strprintf(" algo=%s", std::string(coll::algo_name(*algo)).c_str());
+  }
 
   // Execution phase: the whole stack x (1 baseline + K perturbed) matrix
   // is one flat job list of independent simulations (each on its own
@@ -104,7 +136,7 @@ ConformanceReport run_conformance(const ConformanceSpec& spec) {
   const auto job_spec = [&](std::size_t job) {
     const coll::Prims prims = coll::kAllPrims[job / runs_per_stack];
     const std::size_t r = job % runs_per_stack;
-    RunSpec run = base_run_spec(spec, prims);
+    RunSpec run = base_run_spec(spec, prims, algo);
     if (r > 0) {
       run.config.perturb_seed =
           spec.perturb_seed_base + static_cast<std::uint64_t>(r - 1);

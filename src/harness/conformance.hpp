@@ -42,6 +42,16 @@ struct ConformanceSpec {
   int tiles_x = 2;  // mesh shape; cores = tiles_x * tiles_y * 2
   int tiles_y = 2;
   coll::SplitPolicy split = coll::SplitPolicy::kBalanced;
+  /// Cores per tile (cores = tiles_x * tiles_y * cores_per_tile). The SCC's
+  /// value is 2; 1 enables odd core counts for the algorithm-variant grid.
+  int cores_per_tile = 2;
+  /// Algorithm override for the collectives with variants (coll/algos.hpp).
+  /// Unset = the paper's algorithm. Algo::kAuto is resolved *once*, from
+  /// (collective, n, p) with the lightweight prims, so all three stacks run
+  /// the same algorithm -- the full-buffer diff in check (1) requires the
+  /// same schedule per cell (different algorithms leave different, equally
+  /// valid garbage outside the owned ReduceScatter block).
+  std::optional<coll::Algo> algo;
   /// Seeds the input data and the engine's deterministic base trace.
   std::uint64_t engine_seed = 42;
   /// Number of perturbation seeds per stack (K). The seeds used are

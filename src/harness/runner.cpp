@@ -20,12 +20,20 @@ namespace {
 
 constexpr int kRoot = 0;  // root used by Reduce/Broadcast experiments
 
-/// Shared by the trace run scope and the metrics snapshot label.
+/// Shared by the trace run scope and the metrics snapshot label. The algo
+/// suffix only appears when an override is set, so labels of existing runs
+/// (and the baselines keyed on them) are unchanged.
 std::string run_label(const RunSpec& spec) {
-  return strprintf("%s/%s n=%zu",
-                   std::string(collective_name(spec.collective)).c_str(),
-                   std::string(variant_name(spec.variant)).c_str(),
-                   spec.elements);
+  std::string label =
+      strprintf("%s/%s n=%zu",
+                std::string(collective_name(spec.collective)).c_str(),
+                std::string(variant_name(spec.variant)).c_str(),
+                spec.elements);
+  if (spec.algo) {
+    label += strprintf(" algo=%s",
+                       std::string(coll::algo_name(*spec.algo)).c_str());
+  }
+  return label;
 }
 
 struct CoreData {
@@ -109,16 +117,22 @@ coll::SplitPolicy effective_split(const RunSpec& spec) {
 sim::Task<> run_op_rcce(coll::Stack& stack, coll::MpbAllreduce* mpb,
                         const RunSpec& spec, CoreData& data) {
   const coll::SplitPolicy split = effective_split(spec);
+  const auto algo = [&](coll::CollKind kind) {
+    return spec.algo.value_or(coll::paper_algo(kind));
+  };
   switch (spec.collective) {
     case Collective::kAllgather:
-      co_await coll::allgather(stack, data.in, data.out);
+      co_await coll::allgather(stack, data.in, data.out,
+                               algo(coll::CollKind::kAllgather));
       co_return;
     case Collective::kAlltoall:
-      co_await coll::alltoall(stack, data.in, data.out);
+      co_await coll::alltoall(stack, data.in, data.out,
+                              algo(coll::CollKind::kAlltoall));
       co_return;
     case Collective::kReduceScatter:
       data.owned_block = co_await coll::reduce_scatter(
-          stack, data.in, data.out, coll::ReduceOp::kSum, split);
+          stack, data.in, data.out, coll::ReduceOp::kSum, split,
+          algo(coll::CollKind::kReduceScatter));
       co_return;
     case Collective::kBroadcast:
       co_await coll::broadcast(stack, data.out, kRoot, split);
@@ -132,7 +146,8 @@ sim::Task<> run_op_rcce(coll::Stack& stack, coll::MpbAllreduce* mpb,
         co_await mpb->run(data.in, data.out, coll::ReduceOp::kSum, split);
       } else {
         co_await coll::allreduce(stack, data.in, data.out,
-                                 coll::ReduceOp::kSum, split);
+                                 coll::ReduceOp::kSum, split,
+                                 algo(coll::CollKind::kAllreduce));
       }
       co_return;
     case Collective::kScatter:
@@ -343,11 +358,44 @@ std::vector<PaperVariant> variants_for(Collective c) {
   return {};
 }
 
+std::optional<coll::CollKind> algo_kind(Collective c) {
+  switch (c) {
+    case Collective::kAllgather: return coll::CollKind::kAllgather;
+    case Collective::kAlltoall: return coll::CollKind::kAlltoall;
+    case Collective::kReduceScatter: return coll::CollKind::kReduceScatter;
+    case Collective::kAllreduce: return coll::CollKind::kAllreduce;
+    default: return std::nullopt;
+  }
+}
+
 RunResult run_collective(const RunSpec& spec) {
   if (spec.variant == PaperVariant::kMpb &&
       spec.collective != Collective::kAllreduce) {
     throw std::runtime_error(
         "the MPB-direct variant exists only for Allreduce (paper IV-D)");
+  }
+  if (spec.algo) {
+    // Algorithm overrides exist on the Stack-based (RCCE-family) paths
+    // only: RCKMPI and the MPB-direct Allreduce have their own schedules.
+    if (spec.variant == PaperVariant::kRckmpi ||
+        spec.variant == PaperVariant::kMpb) {
+      throw std::runtime_error(strprintf(
+          "--algo is not supported for the %s variant",
+          std::string(variant_name(spec.variant)).c_str()));
+    }
+    const auto kind = algo_kind(spec.collective);
+    if (!kind) {
+      throw std::runtime_error(strprintf(
+          "%s has no algorithm variants",
+          std::string(collective_name(spec.collective)).c_str()));
+    }
+    if (*spec.algo != coll::Algo::kAuto &&
+        !coll::algo_valid_for(*kind, *spec.algo)) {
+      throw std::runtime_error(strprintf(
+          "algorithm %s is not implemented for %s",
+          std::string(coll::algo_name(*spec.algo)).c_str(),
+          std::string(collective_name(spec.collective)).c_str()));
+    }
   }
   SCC_EXPECTS(spec.repetitions >= 1);
 

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "coll/algos.hpp"
 #include "coll/block_split.hpp"
 #include "coll/stack.hpp"
 #include "machine/config.hpp"
@@ -78,6 +79,10 @@ enum class Collective {
 /// Allreduce).
 [[nodiscard]] std::vector<PaperVariant> variants_for(Collective c);
 
+/// Maps the collectives that have an algorithm dimension (coll/algos.hpp)
+/// onto coll::CollKind; nullopt for the rest (broadcast, reduce, ...).
+[[nodiscard]] std::optional<coll::CollKind> algo_kind(Collective c);
+
 struct RunSpec {
   Collective collective = Collective::kAllreduce;
   PaperVariant variant = PaperVariant::kBlocking;
@@ -98,6 +103,12 @@ struct RunSpec {
   /// Forces the block-split policy regardless of what the variant implies
   /// (the conformance harness exercises every stack under both policies).
   std::optional<coll::SplitPolicy> split_override;
+  /// Algorithm override for the collectives that have variants (allgather,
+  /// alltoall, reducescatter, allreduce; see coll/algos.hpp). Unset = the
+  /// paper's algorithm, so existing call sites and committed baselines are
+  /// bit-identical; coll::Algo::kAuto = the Selector picks from
+  /// (collective, n, p, prims). Only valid for the RCCE-family variants.
+  std::optional<coll::Algo> algo;
   /// When non-null, the run is traced into this recorder: a new run scope
   /// labelled "<collective>/<variant> n=<elements>" is opened and the
   /// machine's phase intervals, scheduler instants and link windows are

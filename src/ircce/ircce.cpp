@@ -179,6 +179,34 @@ sim::Task<> Ircce::wait(RequestId id) {
 }
 
 sim::Task<> Ircce::wait_all(std::span<const RequestId> ids) {
+  // One send + one concrete-source receive with either message exceeding
+  // one MPB chunk: the receive-first policy below deadlocks (each peer's
+  // next send chunk waits behind its own unfinished receive; see
+  // rcce::complete_exchange), so complete both interleaved. Single-chunk
+  // exchanges keep the historical sequence and timing.
+  if (ids.size() == 2 && sends_.size() == 1 && recvs_.size() == 1) {
+    const auto sit = sends_.begin();
+    const auto rit = recvs_.begin();
+    const bool ours = (ids[0] == sit->id && ids[1] == rit->id) ||
+                      (ids[0] == rit->id && ids[1] == sit->id);
+    const std::size_t chunk = rcce_->layout().chunk_bytes();
+    if (ours && rit->peer != kAnySource && sit->state == State::kStaged &&
+        (sit->sdata.size() > chunk || rit->rdata.size() > chunk)) {
+      auto& api = rcce_->api();
+      co_await rcce::complete_exchange(api, rcce_->layout(), sit->sdata,
+                                       std::min(chunk, sit->sdata.size()),
+                                       sit->peer, rit->rdata, rit->peer,
+                                       kAnySourcePollCycles);
+      chunk_busy_ = false;
+      co_await api.overhead(api.cost().sw.ircce_complete);  // the receive's
+      co_await api.overhead(api.cost().sw.ircce_complete);  // the send's
+      completed_sources_.emplace_back(rit->id, rit->peer);
+      if (completed_sources_.size() > 64) completed_sources_.pop_front();
+      sends_.erase(sit);
+      recvs_.erase(rit);
+      co_return;  // sends_ is empty; nothing further to stage
+    }
+  }
   // Receives first, in posting order: they move the data; send
   // acknowledgements arrive as a side effect of the peers' receives.
   for (const RequestId id : ids) {

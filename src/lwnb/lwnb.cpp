@@ -6,6 +6,12 @@
 
 namespace scc::lwnb {
 
+namespace {
+/// Probe spacing (core cycles) of the interleaved oversized-exchange
+/// completion loop (matches the iRCCE engine's wildcard poll spacing).
+constexpr std::uint64_t kProgressPollCycles = 300;
+}  // namespace
+
 sim::Task<> Lwnb::isend(std::span<const std::byte> data, int dest) {
   SCC_EXPECTS(!send_pending_);
   SCC_EXPECTS(dest >= 0 && dest < rcce_->num_cores() && dest != rank());
@@ -64,6 +70,24 @@ sim::Task<> Lwnb::wait_recv() {
 }
 
 sim::Task<> Lwnb::wait_both() {
+  // Messages that exceed one MPB chunk must progress both directions
+  // interleaved: the receive-first sequence below deadlocks when every
+  // peer's next send chunk waits behind its own unfinished receive (see
+  // rcce::complete_exchange). Single-chunk exchanges keep the historical
+  // sequence -- and its exact timing -- unchanged.
+  const std::size_t chunk = rcce_->layout().chunk_bytes();
+  if (send_pending_ && recv_pending_ &&
+      (sdata_.size() > chunk || rdata_.size() > chunk)) {
+    auto& api = rcce_->api();
+    co_await rcce::complete_exchange(api, rcce_->layout(), sdata_,
+                                     std::min(chunk, sdata_.size()), sdest_,
+                                     rdata_, rsrc_, kProgressPollCycles);
+    co_await api.overhead(api.cost().sw.lwnb_complete);  // the receive's
+    co_await api.overhead(api.cost().sw.lwnb_complete);  // the send's
+    recv_pending_ = false;
+    send_pending_ = false;
+    co_return;
+  }
   if (recv_pending_) co_await wait_recv();
   if (send_pending_) co_await wait_send();
 }

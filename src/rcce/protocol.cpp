@@ -51,4 +51,46 @@ bool sent_is_up(machine::CoreApi& api, const Layout& layout, int src) {
   return api.flag_peek(layout.sent_flag(api.rank(), src)) != 0;
 }
 
+sim::Task<> complete_exchange(machine::CoreApi& api, const Layout& layout,
+                              std::span<const std::byte> sdata,
+                              std::size_t staged, int dest,
+                              std::span<std::byte> rdata, int src,
+                              std::uint64_t poll_cycles) {
+  const int self = api.rank();
+  std::size_t sdone = staged;
+  std::size_t rdone = 0;
+  bool recv_pending = true;  // >= one handshake even for an empty message
+  bool send_pending = true;  // the pre-staged chunk is awaiting its ack
+  while (recv_pending || send_pending) {
+    bool progressed = false;
+    if (recv_pending && sent_is_up(api, layout, src)) {
+      const std::size_t len =
+          std::min(layout.chunk_bytes(), rdata.size() - rdone);
+      co_await await_and_fetch(api, layout, rdata.subspan(rdone, len), src);
+      co_await ack_sender(api, layout, src);
+      rdone += len;
+      recv_pending = rdone < rdata.size();
+      progressed = true;
+    }
+    if (send_pending &&
+        api.flag_peek(layout.ready_flag(self, dest)) != 0) {
+      co_await await_ack(api, layout, dest);
+      if (sdone < sdata.size()) {
+        const std::size_t len =
+            std::min(layout.chunk_bytes(), sdata.size() - sdone);
+        co_await stage_and_signal(api, layout, sdata.subspan(sdone, len),
+                                  dest);
+        sdone += len;
+      } else {
+        send_pending = false;
+      }
+      progressed = true;
+    }
+    if (!progressed) {
+      co_await api.charge(machine::Phase::kFlagWait,
+                          api.cost().hw.core_clock().cycles(poll_cycles));
+    }
+  }
+}
+
 }  // namespace scc::rcce

@@ -48,4 +48,27 @@ sim::Task<> ack_sender(machine::CoreApi& api, const Layout& layout, int src);
 [[nodiscard]] bool sent_is_up(machine::CoreApi& api, const Layout& layout,
                               int src);
 
+/// Completes an in-flight bidirectional exchange whose messages may exceed
+/// one MPB chunk: alternates between fetching available receive chunks from
+/// `src` and, on ack, staging further send chunks to `dest`, polling every
+/// `poll_cycles` core cycles when neither side is ready.
+///
+/// Completing the receive *before* pushing the remaining send chunks (what
+/// the engines' plain wait paths do) deadlocks for multi-chunk messages in
+/// any exchange cycle -- pairwise included: each peer waits for its
+/// source's next chunk while its own next chunk sits unstaged behind the
+/// completed-receive-first policy. Engines call this only for the oversized
+/// case, keeping single-chunk wait sequences (and their timing) unchanged.
+///
+/// Preconditions: the first send chunk (`staged` bytes, min(chunk, total))
+/// is already staged and signalled; the receive has fetched nothing yet.
+/// Performs the receive's full fetch+ack chunk loop (at least one handshake
+/// even for empty messages) and the send's remaining stage+ack loop; the
+/// caller charges its own per-request completion overheads afterwards.
+sim::Task<> complete_exchange(machine::CoreApi& api, const Layout& layout,
+                              std::span<const std::byte> sdata,
+                              std::size_t staged, int dest,
+                              std::span<std::byte> rdata, int src,
+                              std::uint64_t poll_cycles);
+
 }  // namespace scc::rcce

@@ -1,0 +1,388 @@
+// Edge-case audit of the three message-passing stacks behind coll::Stack:
+//
+//   1. zero-length messages -- every primitive (send/recv, exchange,
+//      exchange_pair, exchange_shift) must complete a 0-byte transfer with
+//      the same one-handshake semantics on all three layers instead of
+//      deadlocking or diverging (an empty message still synchronizes);
+//   2. multi-chunk bidirectional exchanges -- both directions larger than
+//      one MPB chunk, the configuration where the non-blocking layers'
+//      receive-before-restage completion used to deadlock (fixed by
+//      rcce::complete_exchange's interleaved progression); data integrity
+//      is checked byte-for-byte at the primitive level and element-wise at
+//      the Stack level;
+//   3. precondition death tests for the rooted collectives' buffer-size
+//      contracts (reduce/scatter/gather validate the root's buffer).
+#include "coll/stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "coll/collectives.hpp"
+#include "machine/scc_machine.hpp"
+
+namespace scc::coll {
+namespace {
+
+machine::SccConfig small_config() {
+  machine::SccConfig config;
+  config.tiles_x = 2;
+  config.tiles_y = 2;  // 8 cores
+  return config;
+}
+
+std::vector<std::byte> pattern(std::size_t n, int seed) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] =
+        static_cast<std::byte>((i * 13 + static_cast<std::size_t>(seed)) & 0xFF);
+  return v;
+}
+
+// --- 1. zero-length messages ---------------------------------------------
+
+struct RingBufs {
+  std::vector<std::byte> sbuf;
+  std::vector<std::byte> rbuf;
+};
+
+sim::Task<> ring_exchange_program(machine::CoreApi& api,
+                                  const rcce::Layout* layout, Prims prims,
+                                  RingBufs* bufs) {
+  Stack stack(api, *layout, prims);
+  const int p = stack.num_cores();
+  co_await stack.exchange(bufs->sbuf, (stack.rank() + 1) % p, bufs->rbuf,
+                          (stack.rank() + p - 1) % p);
+}
+
+/// A full ring round where every core's payload is empty: each of the p
+/// simultaneous 0-byte exchanges must still handshake and terminate.
+void run_zero_ring(Prims prims) {
+  machine::SccMachine machine(small_config());
+  const int p = machine.num_cores();
+  const rcce::Layout layout(p);
+  std::vector<RingBufs> bufs(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r)
+    machine.launch(r, ring_exchange_program(machine.core(r), &layout, prims,
+                                            &bufs[static_cast<std::size_t>(r)]));
+  machine.run();  // termination IS the assertion (deadlock throws)
+}
+
+TEST(ZeroLength, RingExchangeBlocking) { run_zero_ring(Prims::kBlocking); }
+TEST(ZeroLength, RingExchangeIrcce) { run_zero_ring(Prims::kIrcce); }
+TEST(ZeroLength, RingExchangeLightweight) {
+  run_zero_ring(Prims::kLightweight);
+}
+
+/// Mixed case: even ranks send 0 bytes but receive a payload, odd ranks
+/// the reverse -- zero- and nonzero-length handshakes interleave in one
+/// round and the payloads must land intact.
+sim::Task<> mixed_pair_program(machine::CoreApi& api,
+                               const rcce::Layout* layout, Prims prims,
+                               RingBufs* bufs) {
+  Stack stack(api, *layout, prims);
+  const int partner = stack.rank() ^ 1;
+  co_await stack.exchange_pair(bufs->sbuf, bufs->rbuf, partner);
+}
+
+void run_mixed_pairs(Prims prims) {
+  machine::SccMachine machine(small_config());
+  const int p = machine.num_cores();
+  const rcce::Layout layout(p);
+  std::vector<RingBufs> bufs(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    if (r % 2 == 0) {
+      bufs[static_cast<std::size_t>(r)].rbuf.resize(300);
+    } else {
+      bufs[static_cast<std::size_t>(r)].sbuf = pattern(300, r);
+    }
+  }
+  for (int r = 0; r < p; ++r)
+    machine.launch(r, mixed_pair_program(machine.core(r), &layout, prims,
+                                         &bufs[static_cast<std::size_t>(r)]));
+  machine.run();
+  for (int r = 0; r < p; r += 2)
+    EXPECT_EQ(bufs[static_cast<std::size_t>(r)].rbuf, pattern(300, r + 1))
+        << prims_name(prims) << " rank " << r;
+}
+
+TEST(ZeroLength, MixedPairsBlocking) { run_mixed_pairs(Prims::kBlocking); }
+TEST(ZeroLength, MixedPairsIrcce) { run_mixed_pairs(Prims::kIrcce); }
+TEST(ZeroLength, MixedPairsLightweight) {
+  run_mixed_pairs(Prims::kLightweight);
+}
+
+sim::Task<> zero_send_program(machine::CoreApi& api,
+                              const rcce::Layout* layout, Prims prims,
+                              int dest) {
+  Stack stack(api, *layout, prims);
+  co_await stack.send({}, dest);
+}
+
+sim::Task<> zero_recv_program(machine::CoreApi& api,
+                              const rcce::Layout* layout, Prims prims,
+                              int src) {
+  Stack stack(api, *layout, prims);
+  co_await stack.recv({}, src);
+}
+
+TEST(ZeroLength, SendRecvAllStacks) {
+  for (const Prims prims : kAllPrims) {
+    machine::SccMachine machine(small_config());
+    const rcce::Layout layout(machine.num_cores());
+    machine.launch(0, zero_send_program(machine.core(0), &layout, prims, 5));
+    machine.launch(5, zero_recv_program(machine.core(5), &layout, prims, 0));
+    machine.run();
+  }
+}
+
+sim::Task<> zero_shift_program(machine::CoreApi& api,
+                               const rcce::Layout* layout, Prims prims,
+                               int dist) {
+  Stack stack(api, *layout, prims);
+  co_await stack.exchange_shift({}, {}, dist);
+}
+
+TEST(ZeroLength, ExchangeShiftAllStacksAllDistances) {
+  // Distances covering the odd-even case (dist odd), the cycle-breaker
+  // case (gcd(8, dist) > 1), and negative shifts (Bruck allgather's
+  // direction).
+  for (const Prims prims : kAllPrims) {
+    for (const int dist : {1, 2, 4, 6, -1, -2, -4}) {
+      machine::SccMachine machine(small_config());
+      const int p = machine.num_cores();
+      const rcce::Layout layout(p);
+      for (int r = 0; r < p; ++r)
+        machine.launch(
+            r, zero_shift_program(machine.core(r), &layout, prims, dist));
+      machine.run();
+    }
+  }
+}
+
+struct VBufs {
+  std::vector<double> contribution;
+  std::vector<double> gathered;
+};
+
+sim::Task<> allgatherv_program(machine::CoreApi& api,
+                               const rcce::Layout* layout, Prims prims,
+                               const std::vector<std::size_t>* counts,
+                               VBufs* bufs) {
+  Stack stack(api, *layout, prims);
+  co_await allgatherv(stack, bufs->contribution, *counts, bufs->gathered);
+}
+
+TEST(ZeroLength, AllgathervWithEmptyContributions) {
+  // Several cores contribute nothing at all; their ring slots are 0-byte
+  // messages that must still forward everyone else's data around.
+  for (const Prims prims : kAllPrims) {
+    machine::SccMachine machine(small_config());
+    const int p = machine.num_cores();
+    const rcce::Layout layout(p);
+    const std::vector<std::size_t> counts = {0, 3, 0, 0, 7, 1, 0, 5};
+    ASSERT_EQ(counts.size(), static_cast<std::size_t>(p));
+    std::size_t total = 0;
+    for (const std::size_t c : counts) total += c;
+    std::vector<VBufs> bufs(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      auto& b = bufs[static_cast<std::size_t>(r)];
+      b.contribution.resize(counts[static_cast<std::size_t>(r)]);
+      for (std::size_t i = 0; i < b.contribution.size(); ++i)
+        b.contribution[i] = static_cast<double>(r * 100 + static_cast<int>(i));
+      b.gathered.assign(total, -1.0);
+    }
+    for (int r = 0; r < p; ++r)
+      machine.launch(r,
+                     allgatherv_program(machine.core(r), &layout, prims,
+                                        &counts,
+                                        &bufs[static_cast<std::size_t>(r)]));
+    machine.run();
+    std::vector<double> want;
+    for (int r = 0; r < p; ++r)
+      for (std::size_t i = 0; i < counts[static_cast<std::size_t>(r)]; ++i)
+        want.push_back(static_cast<double>(r * 100 + static_cast<int>(i)));
+    for (int r = 0; r < p; ++r)
+      EXPECT_EQ(bufs[static_cast<std::size_t>(r)].gathered, want)
+          << prims_name(prims) << " rank " << r;
+  }
+}
+
+// --- 2. multi-chunk bidirectional exchanges -------------------------------
+
+sim::Task<> pair_exchange_program(machine::CoreApi& api,
+                                  const rcce::Layout* layout, Prims prims,
+                                  RingBufs* bufs, int partner) {
+  Stack stack(api, *layout, prims);
+  co_await stack.exchange_pair(bufs->sbuf, bufs->rbuf, partner);
+}
+
+/// Both directions of every pair larger than one MPB chunk: the layers
+/// must interleave chunk progression instead of completing the receive
+/// first (which deadlocks -- each side's next send chunk would wait behind
+/// its own unfinished receive).
+void run_multichunk_pairs(Prims prims, std::size_t send_bytes,
+                          std::size_t recv_bytes) {
+  machine::SccMachine machine(small_config());
+  const int p = machine.num_cores();
+  const rcce::Layout layout(p);
+  ASSERT_GT(std::max(send_bytes, recv_bytes), layout.chunk_bytes())
+      << "grow the test sizes: the whole point is to span chunks";
+  std::vector<RingBufs> bufs(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    const bool even = r % 2 == 0;
+    auto& b = bufs[static_cast<std::size_t>(r)];
+    b.sbuf = pattern(even ? send_bytes : recv_bytes, r);
+    b.rbuf.resize(even ? recv_bytes : send_bytes);
+  }
+  for (int r = 0; r < p; ++r)
+    machine.launch(r, pair_exchange_program(machine.core(r), &layout, prims,
+                                            &bufs[static_cast<std::size_t>(r)],
+                                            r ^ 1));
+  machine.run();
+  for (int r = 0; r < p; ++r)
+    EXPECT_EQ(bufs[static_cast<std::size_t>(r)].rbuf,
+              bufs[static_cast<std::size_t>(r ^ 1)].sbuf)
+        << prims_name(prims) << " rank " << r;
+}
+
+TEST(MultiChunk, SymmetricPairsBlocking) {
+  run_multichunk_pairs(Prims::kBlocking, 14000, 14000);
+}
+TEST(MultiChunk, SymmetricPairsIrcce) {
+  run_multichunk_pairs(Prims::kIrcce, 14000, 14000);
+}
+TEST(MultiChunk, SymmetricPairsLightweight) {
+  run_multichunk_pairs(Prims::kLightweight, 14000, 14000);
+}
+
+// Asymmetric: only one direction spans chunks (both orderings). The
+// interleaved path must also handle its partner finishing early.
+TEST(MultiChunk, AsymmetricPairsIrcce) {
+  run_multichunk_pairs(Prims::kIrcce, 14000, 64);
+  run_multichunk_pairs(Prims::kIrcce, 64, 14000);
+}
+TEST(MultiChunk, AsymmetricPairsLightweight) {
+  run_multichunk_pairs(Prims::kLightweight, 14000, 64);
+  run_multichunk_pairs(Prims::kLightweight, 64, 14000);
+}
+
+sim::Task<> big_ring_program(machine::CoreApi& api, const rcce::Layout* layout,
+                             Prims prims, RingBufs* bufs) {
+  Stack stack(api, *layout, prims);
+  const int p = stack.num_cores();
+  co_await stack.exchange(bufs->sbuf, (stack.rank() + 1) % p, bufs->rbuf,
+                          (stack.rank() + p - 1) % p);
+}
+
+TEST(MultiChunk, RingExchangeAllStacks) {
+  // A ring (not pairs): the exchange cycle spans all 8 cores, so a
+  // receive-first completion would deadlock the whole ring at once.
+  for (const Prims prims : kAllPrims) {
+    machine::SccMachine machine(small_config());
+    const int p = machine.num_cores();
+    const rcce::Layout layout(p);
+    std::vector<RingBufs> bufs(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      bufs[static_cast<std::size_t>(r)].sbuf = pattern(14000, r);
+      bufs[static_cast<std::size_t>(r)].rbuf.resize(14000);
+    }
+    for (int r = 0; r < p; ++r)
+      machine.launch(r,
+                     big_ring_program(machine.core(r), &layout, prims,
+                                      &bufs[static_cast<std::size_t>(r)]));
+    machine.run();
+    for (int r = 0; r < p; ++r)
+      EXPECT_EQ(bufs[static_cast<std::size_t>(r)].rbuf,
+                pattern(14000, (r + p - 1) % p))
+          << prims_name(prims) << " rank " << r;
+  }
+}
+
+// --- 3. rooted-collective buffer-size preconditions -----------------------
+
+sim::Task<> bad_reduce_root(machine::CoreApi& api, const rcce::Layout* layout,
+                            const std::vector<double>* in,
+                            std::vector<double>* out) {
+  Stack stack(api, *layout, Prims::kBlocking);
+  co_await reduce(stack, *in, *out, rcce::ReduceOp::kSum, /*root=*/0,
+                  SplitPolicy::kStandard);
+}
+
+TEST(RootedPreconditionDeathTest, ReduceRootOutputTooSmall) {
+  // The root's `out` must hold the full vector; a short buffer used to be
+  // silently overrun instead of tripping the contract.
+  EXPECT_DEATH(
+      {
+        machine::SccMachine machine(small_config());
+        const int p = machine.num_cores();
+        const rcce::Layout layout(p);
+        std::vector<std::vector<double>> in(
+            static_cast<std::size_t>(p), std::vector<double>(40, 1.0));
+        std::vector<double> short_out(39, 0.0);  // root buffer, one short
+        std::vector<double> empty;               // non-roots may pass none
+        for (int r = 0; r < p; ++r)
+          machine.launch(r, bad_reduce_root(machine.core(r), &layout,
+                                            &in[static_cast<std::size_t>(r)],
+                                            r == 0 ? &short_out : &empty));
+        machine.run();
+      },
+      "precondition");
+}
+
+sim::Task<> bad_scatter_root(machine::CoreApi& api, const rcce::Layout* layout,
+                             const std::vector<double>* send,
+                             std::vector<double>* recv) {
+  Stack stack(api, *layout, Prims::kBlocking);
+  co_await scatter(stack, *send, *recv, /*root=*/0);
+}
+
+TEST(RootedPreconditionDeathTest, ScatterRootSendTooSmall) {
+  EXPECT_DEATH(
+      {
+        machine::SccMachine machine(small_config());
+        const int p = machine.num_cores();
+        const rcce::Layout layout(p);
+        std::vector<double> send(static_cast<std::size_t>(p) * 4 - 1, 1.0);
+        std::vector<std::vector<double>> recv(
+            static_cast<std::size_t>(p), std::vector<double>(4, 0.0));
+        std::vector<double> empty;
+        for (int r = 0; r < p; ++r)
+          machine.launch(r, bad_scatter_root(machine.core(r), &layout,
+                                             r == 0 ? &send : &empty,
+                                             &recv[static_cast<std::size_t>(r)]));
+        machine.run();
+      },
+      "precondition");
+}
+
+sim::Task<> bad_gather_root(machine::CoreApi& api, const rcce::Layout* layout,
+                            const std::vector<double>* send,
+                            std::vector<double>* recv) {
+  Stack stack(api, *layout, Prims::kBlocking);
+  co_await gather(stack, *send, *recv, /*root=*/0);
+}
+
+TEST(RootedPreconditionDeathTest, GatherRootRecvTooSmall) {
+  EXPECT_DEATH(
+      {
+        machine::SccMachine machine(small_config());
+        const int p = machine.num_cores();
+        const rcce::Layout layout(p);
+        std::vector<std::vector<double>> send(
+            static_cast<std::size_t>(p), std::vector<double>(4, 1.0));
+        std::vector<double> recv(static_cast<std::size_t>(p) * 4 - 1, 0.0);
+        std::vector<double> empty;
+        for (int r = 0; r < p; ++r)
+          machine.launch(r, bad_gather_root(machine.core(r), &layout,
+                                            &send[static_cast<std::size_t>(r)],
+                                            r == 0 ? &recv : &empty));
+        machine.run();
+      },
+      "precondition");
+}
+
+}  // namespace
+}  // namespace scc::coll

@@ -40,14 +40,19 @@ TEST_P(FuzzCollectives, RandomConfigurationVerifies) {
     const MeshShape mesh = kMeshes[rng.below(5)];
     const int p = mesh.x * mesh.y * 2;
     // Sizes biased toward the interesting boundaries: around multiples of
-    // p and of 4 (cache lines), plus a uniform tail.
+    // p and of 4 (cache lines), sub-p vectors (some cores' blocks are
+    // empty, so zero-length messages flow through the stacks), plus a
+    // uniform tail.
     std::size_t n = 0;
-    switch (rng.below(3)) {
+    switch (rng.below(4)) {
       case 0:
         n = static_cast<std::size_t>(p) * (1 + rng.below(12)) + rng.below(3);
         break;
       case 1:
         n = 4 * (1 + rng.below(40)) + rng.below(4);
+        break;
+      case 2:
+        n = 1 + rng.below(static_cast<std::uint64_t>(p));
         break;
       default:
         n = 1 + rng.below(200);
@@ -74,10 +79,26 @@ TEST_P(FuzzCollectives, RandomConfigurationVerifies) {
     // Half the draws run under a perturbed schedule (seeded, reproducible),
     // so the fuzzer explores interleavings as well as configurations.
     if (rng.below(2) == 0) spec.config.perturb_seed = rng();
+    // The algorithm dimension (coll/algos.hpp), for the collectives and
+    // variants that have one: paper default, each implemented variant, or
+    // the auto Selector.
+    if (const auto kind = algo_kind(coll);
+        kind && variant != PaperVariant::kRckmpi &&
+        variant != PaperVariant::kMpb) {
+      const auto& algos = coll::algos_for(*kind);
+      const std::uint64_t pick = rng.below(algos.size() + 2);
+      if (pick == algos.size() + 1) {
+        spec.algo = coll::Algo::kAuto;
+      } else if (pick >= 1) {
+        spec.algo = algos[pick - 1];
+      }
+    }
     SCOPED_TRACE(std::string(collective_name(coll)) + "/" +
                  std::string(variant_name(variant)) + " n=" +
                  std::to_string(n) + " mesh=" + std::to_string(mesh.x) + "x" +
                  std::to_string(mesh.y) +
+                 (spec.algo ? " algo=" + std::string(coll::algo_name(*spec.algo))
+                            : std::string()) +
                  (spec.config.perturb_seed
                       ? " perturb=" + std::to_string(*spec.config.perturb_seed)
                       : std::string()));
