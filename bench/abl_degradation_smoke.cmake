@@ -1,0 +1,43 @@
+# bench-smoke regression gate for the degradation-robustness table, run as
+# a ctest (label "bench-smoke"): regenerates bench/abl_degradation with its
+# default grid (lightweight variant, 6x4 mesh, n=192, six fault scenarios)
+# and diffs the scc-bench-v1 JSON two-sided against the committed baseline,
+# keyed by the "cell" column. The simulator is deterministic, so drift in a
+# latency, in wait_share, or -- most importantly -- a pick_ok flip (a fault
+# scenario moving a measured crossover past the analytic Selector) is a
+# real model change; intentional recalibrations must re-commit the
+# baseline. The tolerance is wide (latencies under faults span orders of
+# magnitude across cells); pick_ok is 0/1, so any flip exceeds it anyway.
+#
+# Required -D variables: ABL, COMPARE (target binaries), BASELINE
+# (committed JSON), WORK_DIR (scratch; bench_results/ is written inside).
+foreach(var ABL COMPARE BASELINE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "abl_degradation_smoke.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+execute_process(
+  COMMAND "${ABL}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE abl_rc)
+if(NOT abl_rc EQUAL 0)
+  message(FATAL_ERROR "abl_degradation failed (exit ${abl_rc})")
+endif()
+
+execute_process(
+  COMMAND "${COMPARE}"
+    "--baseline=${BASELINE}"
+    "--current=${WORK_DIR}/bench_results/abl_degradation.json"
+    "--key=cell"
+    "--two-sided"
+    "--rel-tol=0.25"
+    "--abs-tol=0.25"
+  RESULT_VARIABLE compare_rc)
+if(NOT compare_rc EQUAL 0)
+  message(FATAL_ERROR
+    "degradation gate failed (exit ${compare_rc}); if the change is "
+    "intentional, re-commit bench_results/baselines/abl_degradation.json "
+    "from the fresh ${WORK_DIR}/bench_results/abl_degradation.json")
+endif()

@@ -12,12 +12,23 @@
 //   perturb_soak --rounds=1 --master-seed=7 --trace=replay.json
 //   perturb_soak --rounds=1 --metrics=soak_metrics.json
 //   perturb_soak --collective=allgather --algo=bruck   # pin one algorithm
+//   perturb_soak --faults='straggler:3x2'              # pin a fault spec
 //
 // Rounds whose collective has algorithm variants (coll/algos.hpp) sample
 // the algorithm dimension too -- paper default, each implemented variant,
 // or the auto Selector -- unless --algo pins one; the chosen algorithm is
 // part of the round's deterministic (master-seed, round) draw and appears
 // in the configuration line.
+//
+// The fault dimension (src/faults) is sampled the same way: about a third
+// of the rounds degrade the machine with 1-2 random clauses (stragglers,
+// DVFS steps, slow links; dead links only on meshes wide enough to
+// reroute), validated against the round's mesh with FaultModel::check --
+// an unlucky draw (e.g. dead links that would disconnect the mesh) falls
+// back to the healthy machine rather than aborting. --faults=SPEC pins the
+// dimension for every round ('' = force healthy). Faults stretch timings
+// and shift schedules but must never change results; the conformance
+// matrix checks exactly that.
 //
 // Every round is fully determined by (--master-seed, round index): a failed
 // round can be reproduced alone via --rounds=1 --master-seed=<reported>,
@@ -38,6 +49,7 @@
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "exec/executor.hpp"
+#include "faults/fault_model.hpp"
 #include "harness/conformance.hpp"
 #include "trace/chrome_export.hpp"
 
@@ -64,6 +76,59 @@ std::optional<Collective> parse_collective(const std::string& name) {
   return std::nullopt;
 }
 
+/// A random mesh link of the round's topology (both tiles in-mesh and
+/// adjacent). Requires at least one link (tiles_x > 1 or tiles_y > 1).
+scc::faults::LinkRef sample_link(scc::Xoshiro256& rng, int tiles_x,
+                                 int tiles_y) {
+  const bool horizontal =
+      tiles_y == 1 || (tiles_x > 1 && rng.below(2) == 0);
+  if (horizontal) {
+    const int x = static_cast<int>(rng.below(static_cast<std::uint64_t>(tiles_x - 1)));
+    const int y = static_cast<int>(rng.below(static_cast<std::uint64_t>(tiles_y)));
+    return {{x, y}, {x + 1, y}};
+  }
+  const int x = static_cast<int>(rng.below(static_cast<std::uint64_t>(tiles_x)));
+  const int y = static_cast<int>(rng.below(static_cast<std::uint64_t>(tiles_y - 1)));
+  return {{x, y}, {x, y + 1}};
+}
+
+/// The round's draw of the fault dimension: 1-2 random clauses against the
+/// round's mesh. The caller validates with FaultModel::check and falls back
+/// to the healthy machine when an unlucky draw (e.g. two dead links that
+/// disconnect a 2x2 mesh) is invalid.
+scc::faults::FaultSpec sample_faults(scc::Xoshiro256& rng, int tiles_x,
+                                     int tiles_y, int cores) {
+  scc::faults::FaultSpec spec;
+  const bool has_links = tiles_x > 1 || tiles_y > 1;
+  // Dead links need both dimensions >= 2: killing one link of a 1-wide mesh
+  // always disconnects it (no alternate route exists).
+  const bool can_kill = tiles_x > 1 && tiles_y > 1;
+  const int clauses = 1 + static_cast<int>(rng.below(2));
+  for (int i = 0; i < clauses; ++i) {
+    switch (rng.below(has_links ? (can_kill ? 4 : 3) : 2)) {
+      case 0:
+        spec.stragglers.push_back(
+            {static_cast<int>(rng.below(static_cast<std::uint64_t>(cores))),
+             1.5 + 0.5 * static_cast<double>(rng.below(6))});
+        break;
+      case 1:
+        spec.dvfs.push_back(
+            {static_cast<int>(rng.below(static_cast<std::uint64_t>(cores))),
+             2 + static_cast<int>(rng.below(3))});
+        break;
+      case 2:
+        spec.slow_links.push_back(
+            {sample_link(rng, tiles_x, tiles_y),
+             2.0 * static_cast<double>(1 + rng.below(4))});
+        break;
+      default:
+        spec.dead_links.push_back(sample_link(rng, tiles_x, tiles_y));
+        break;
+    }
+  }
+  return spec;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -84,6 +149,8 @@ int main(int argc, char** argv) {
     // the stack x seed matrix inside each round fans out.
     const int jobs = scc::exec::jobs_flag(flags);
     const std::string algo_flag = flags.get("algo", "");
+    const bool pin_faults = flags.has("faults");
+    const std::string faults_flag = flags.get("faults", "");
     for (const std::string& name : flags.unconsumed()) {
       std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
       return 2;
@@ -120,6 +187,10 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+    // --faults pins the fault dimension for every round ('' = always
+    // healthy); without it the dimension is sampled per round below.
+    std::optional<scc::faults::FaultSpec> fixed_faults;
+    if (pin_faults) fixed_faults = scc::faults::FaultSpec::parse(faults_flag);
 
     std::optional<scc::trace::Recorder> recorder;
     if (!trace_path.empty()) recorder.emplace();
@@ -151,6 +222,25 @@ int main(int argc, char** argv) {
               ? static_cast<std::uint64_t>(fixed_delay_fs)
               : (rng.below(3) == 0 ? 1'876'173ULL * (1 + rng.below(10)) : 0);
       spec.model_contention = rng.below(3) == 0;
+      // Fault dimension: pinned, or sampled on ~1/3 of the rounds.
+      if (fixed_faults) {
+        spec.faults = *fixed_faults;
+      } else if (rng.below(3) == 0) {
+        spec.faults = sample_faults(rng, mesh.x, mesh.y,
+                                    mesh.x * mesh.y * spec.cores_per_tile);
+      }
+      if (!spec.faults.empty()) {
+        const scc::noc::Topology topo(spec.tiles_x, spec.tiles_y,
+                                      spec.cores_per_tile);
+        if (const auto err =
+                scc::faults::FaultModel::check(spec.faults, topo)) {
+          if (fixed_faults) {
+            std::fprintf(stderr, "--faults: %s\n", err->c_str());
+            return 2;
+          }
+          spec.faults = {};  // unlucky draw: run the round healthy
+        }
+      }
       // Algorithm dimension (only for collectives that have one): pick 0 =
       // paper default (no override), 1..k = the implemented variants, k+1 =
       // the auto Selector.

@@ -10,12 +10,19 @@
 //                         [--algo=ring|bruck|recursive-doubling|
 //                           recursive-halving|ring-rs|pairwise|auto]
 //                         [--elements=N] [--reps=K] [--mesh=6x4] [--no-bug]
-//                         [--jobs=N] [--profile] [--trace=out.json]
-//                         [--metrics=out.json] [--blame]
+//                         [--faults=SPEC] [--jobs=N] [--profile]
+//                         [--trace=out.json] [--metrics=out.json] [--blame]
 //
 // --algo overrides the collective's schedule (coll/algos.hpp) for the
 // RCCE-family variants; "auto" asks the Selector. Default: the paper's
 // algorithm.
+//
+// --faults injects machine degradation (src/faults; DESIGN.md §13), e.g.
+//   --faults='straggler:5x2.5;deadlink:2,1-3,1'
+// Stragglers/DVFS stretch one core's clock, slowlink/deadlink degrade or
+// kill a mesh link (with static reroute). All variants and algorithms see
+// the same degraded machine, so --variant=all under --faults shows how the
+// paper's ranking shifts.
 //
 // --trace writes a chrome://tracing / Perfetto timeline of the run (plus
 // <path>.links.csv with per-link utilization when contention is modeled).
@@ -42,6 +49,7 @@
 #include "common/string_util.hpp"
 #include "common/table.hpp"
 #include "exec/executor.hpp"
+#include "faults/fault_model.hpp"
 #include "harness/runner.hpp"
 #include "metrics/blame.hpp"
 #include "trace/chrome_export.hpp"
@@ -98,6 +106,17 @@ int main(int argc, char** argv) {
     spec.config.tiles_y = std::stoi(mesh[1]);
     if (flags.get_bool("no-bug", false)) {
       spec.config.cost.hw.mpb_bug_workaround = false;
+    }
+    const std::string faults_flag = flags.get("faults", "");
+    if (!faults_flag.empty()) {
+      spec.config.faults = faults::FaultSpec::parse(faults_flag);
+      // Report semantic problems (bad core id, disconnected mesh) as a CLI
+      // error instead of tripping the FaultModel's contract check.
+      const noc::Topology topo(spec.config.tiles_x, spec.config.tiles_y,
+                               spec.config.cores_per_tile);
+      if (const auto err = faults::FaultModel::check(spec.config.faults, topo)) {
+        throw std::runtime_error("--faults: " + *err);
+      }
     }
     const std::string trace_path = flags.get("trace", "");
     const std::string metrics_path = flags.get("metrics", "");
@@ -190,6 +209,10 @@ int main(int argc, char** argv) {
                           : "",
                 spec.elements, spec.config.num_cores(), mesh[0].c_str(),
                 mesh[1].c_str());
+    if (!spec.config.faults.empty()) {
+      std::printf("  faults       : %s\n",
+                  spec.config.faults.to_string().c_str());
+    }
     std::printf("  mean latency : %s\n",
                 format_duration_us(result.mean_latency.us()).c_str());
     std::printf("  min / max    : %s / %s\n",

@@ -1,0 +1,98 @@
+// FaultModel: a FaultSpec compiled against one concrete mesh.
+//
+// Construction validates the spec with SCC_EXPECTS contract checks (core
+// ids in range, factors >= 1, link clauses name adjacent in-mesh tiles,
+// dead links leave the tile graph connected) and precomputes:
+//
+//   - per-core slowdown factors (straggler factor x DVFS divisor, 1.0 when
+//     the core is healthy), applied by mem::LatencyCalculator to every
+//     core-clock charge of that core;
+//   - per-directed-link latency multipliers, applied to the per-hop mesh
+//     cycles of every transfer crossing the link (and to its service time
+//     in the optional contention model);
+//   - static reroutes around dead links: one minimal route per (tile, tile)
+//     pair in the surviving link graph, chosen by a deterministic BFS
+//     (fixed +x, -x, +y, -y neighbour preference), so routing is a pure
+//     function of (spec, topology) -- the same degraded machine every run,
+//     every seed, every stack.
+//
+// Without dead links the routes are exactly Topology::route (XY), so a spec
+// that only slows things down perturbs latencies but never paths. All
+// queries are const and the model is immutable after construction:
+// injecting faults never adds a source of nondeterminism (DESIGN.md §13).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "faults/fault_spec.hpp"
+#include "noc/topology.hpp"
+
+namespace scc::faults {
+
+class FaultModel {
+ public:
+  /// Compiles `spec` against `topo`. Precondition (SCC_EXPECTS): the spec
+  /// is semantically valid for this mesh -- see check().
+  FaultModel(FaultSpec spec, const noc::Topology& topo);
+
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+
+  /// Combined slowdown of one core's clock (straggler x DVFS); 1.0 when
+  /// healthy. Every core-cycle charge of the core is multiplied by this.
+  [[nodiscard]] double core_factor(int core) const {
+    SCC_EXPECTS(core >= 0 &&
+                core < static_cast<int>(core_factor_.size()));
+    return core_factor_[static_cast<std::size_t>(core)];
+  }
+
+  /// Latency multiplier of one directed link; 1.0 when healthy.
+  [[nodiscard]] double link_factor(const noc::LinkId& link) const;
+
+  /// True when the spec kills at least one link (routes differ from XY).
+  [[nodiscard]] bool rerouted() const { return !spec_.dead_links.empty(); }
+
+  /// The static route between two cores' routers in the surviving link
+  /// graph (empty when both cores share a tile). Identical to
+  /// Topology::route when no link is dead.
+  [[nodiscard]] const std::vector<noc::LinkId>& route(noc::CoreId a,
+                                                      noc::CoreId b) const;
+
+  /// Sum of link_factor over route(a, b): the effective hop count of the
+  /// degraded path. Equals the Manhattan hop count on a healthy mesh.
+  [[nodiscard]] double weighted_hops(noc::CoreId a, noc::CoreId b) const;
+
+  /// Same, between a core's tile and an arbitrary router coordinate (used
+  /// for the path to a memory controller's attach point).
+  [[nodiscard]] double weighted_hops_to(noc::CoreId core,
+                                        noc::TileCoord router) const;
+
+  /// Non-aborting validation: the first problem with `spec` on `topo`, or
+  /// nullopt when the spec is valid. Samplers (perturb_soak) and CLI
+  /// front-ends use this; the constructor enforces the same conditions
+  /// with SCC_EXPECTS.
+  [[nodiscard]] static std::optional<std::string> check(
+      const FaultSpec& spec, const noc::Topology& topo);
+
+ private:
+  using TileId = noc::TileId;
+  [[nodiscard]] std::size_t pair_index(TileId a, TileId b) const {
+    return static_cast<std::size_t>(a) *
+               static_cast<std::size_t>(topo_->num_tiles()) +
+           static_cast<std::size_t>(b);
+  }
+
+  FaultSpec spec_;
+  const noc::Topology* topo_;
+  std::vector<double> core_factor_;
+  /// Both directions of every slow link, keyed (from.x, from.y, to.x, to.y).
+  std::map<std::tuple<int, int, int, int>, double> link_factor_;
+  /// Precomputed per (tile, tile) pair: minimal surviving route and its
+  /// factor-weighted length.
+  std::vector<std::vector<noc::LinkId>> routes_;
+  std::vector<double> weighted_hops_;
+};
+
+}  // namespace scc::faults

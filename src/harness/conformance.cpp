@@ -57,6 +57,7 @@ RunSpec base_run_spec(const ConformanceSpec& spec, coll::Prims prims,
   run.config.tiles_y = spec.tiles_y;
   run.config.cores_per_tile = spec.cores_per_tile;
   run.config.cost.hw.model_link_contention = spec.model_contention;
+  run.config.faults = spec.faults;
   return run;
 }
 
@@ -119,6 +120,10 @@ ConformanceReport run_conformance(const ConformanceSpec& spec) {
   if (algo) {
     report.configuration +=
         strprintf(" algo=%s", std::string(coll::algo_name(*algo)).c_str());
+  }
+  if (!spec.faults.empty()) {
+    report.configuration +=
+        strprintf(" faults=%s", spec.faults.to_string().c_str());
   }
 
   // Execution phase: the whole stack x (1 baseline + K perturbed) matrix

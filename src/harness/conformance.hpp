@@ -63,6 +63,11 @@ struct ConformanceSpec {
   /// just equal-time ordering).
   std::uint64_t max_delay_fs = 0;
   bool model_contention = false;
+  /// Injected machine degradation (src/faults): every run of the matrix --
+  /// all three stacks, baseline and perturbed -- simulates on the same
+  /// degraded machine, so faults may change timings and schedules but
+  /// never results. Empty = healthy machine (historical behavior).
+  faults::FaultSpec faults;
   int repetitions = 1;
   int warmup = 0;
   /// Diffs the seed-invariant (volume-type) half of every perturbed run's

@@ -33,6 +33,9 @@ std::string run_label(const RunSpec& spec) {
     label += strprintf(" algo=%s",
                        std::string(coll::algo_name(*spec.algo)).c_str());
   }
+  if (!spec.config.faults.empty()) {
+    label += strprintf(" faults=%s", spec.config.faults.to_string().c_str());
+  }
   return label;
 }
 

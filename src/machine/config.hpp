@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "faults/fault_spec.hpp"
 #include "mem/cost_model.hpp"
 
 namespace scc::machine {
@@ -12,7 +13,17 @@ struct SccConfig {
   int tiles_x = 6;
   int tiles_y = 4;
   int cores_per_tile = 2;
+  /// Note on cost.hw.mpb_bug_workaround: HwCostModel's default (true) is
+  /// THE authoritative default -- the paper's evaluated chip has the
+  /// tile-arbiter bug, so paper_default() inherits it unchanged, and
+  /// bug_fixed() below is the one deliberate opt-out. Tests pin all three
+  /// (tests/machine/test_config.cpp) so the sites cannot drift apart.
   mem::CostModel cost;
+  /// Injected machine degradation (stragglers, DVFS, slow/dead links),
+  /// applied at the latency layer so every stack and algorithm sees the
+  /// same degraded machine. Default-constructed (empty) = healthy machine,
+  /// bit-identical to a build without the faults subsystem. DESIGN.md §13.
+  faults::FaultSpec faults;
   /// Flags allocatable per core (one-byte flags in MPB space). The default
   /// leaves room for every layer: RCCE needs 2 per partner, RCKMPI one per
   /// partner, collectives a handful of extras.

@@ -33,20 +33,21 @@ sim::Task<> CoreApi::charge_impl(Phase phase, SimTime duration,
 
 sim::Task<> CoreApi::compute(std::uint64_t core_cycles) {
   return charge_impl(Phase::kCompute,
-                     machine_->latency().core_cycles(core_cycles));
+                     machine_->latency().core_cycles(core_cycles, rank_));
 }
 
 sim::Task<> CoreApi::overhead(std::uint64_t core_cycles) {
   return charge_impl(Phase::kSwOverhead,
-                     machine_->latency().core_cycles(core_cycles));
+                     machine_->latency().core_cycles(core_cycles, rank_));
 }
 
 sim::Task<> CoreApi::wait_poll(std::uint64_t core_cycles,
                                std::uint64_t after_cycles) {
   const auto& latency = machine_->latency();
-  return charge_impl(Phase::kFlagWait,
-                     latency.core_cycles(after_cycles + core_cycles) -
-                         latency.core_cycles(after_cycles));
+  return charge_impl(
+      Phase::kFlagWait,
+      latency.core_cycles(after_cycles + core_cycles, rank_) -
+          latency.core_cycles(after_cycles, rank_));
 }
 
 sim::Task<> CoreApi::charge(Phase phase, SimTime duration) {
@@ -144,7 +145,7 @@ sim::Task<> CoreApi::flag_set(FlagRef ref, FlagValue value) {
   SimTime t =
       machine_->latency().mpb_line_access(rank_, ref.owner_core,
                                           /*is_read=*/false) +
-      machine_->latency().core_cycles(cost().sw.flag_op);
+      machine_->latency().core_cycles(cost().sw.flag_op, rank_);
   t += contention_delay(rank_, ref.owner_core, 1);
   // The deposit lands at the END of this charge; the "set c:i" detail lets
   // the blame engine pair a waiter's wakeup with the setting core (the
@@ -173,7 +174,7 @@ sim::Task<> CoreApi::flag_wait(FlagRef ref, FlagValue value) {
   const SimTime t =
       machine_->latency().mpb_line_access(rank_, ref.owner_core,
                                           /*is_read=*/true) +
-      machine_->latency().core_cycles(cost().sw.flag_op);
+      machine_->latency().core_cycles(cost().sw.flag_op, rank_);
   co_await charge_impl(Phase::kFlagWait, t);
 }
 
@@ -192,7 +193,7 @@ sim::Task<FlagValue> CoreApi::flag_wait_change(FlagRef ref,
   const SimTime t =
       machine_->latency().mpb_line_access(rank_, ref.owner_core,
                                           /*is_read=*/true) +
-      machine_->latency().core_cycles(cost().sw.flag_op);
+      machine_->latency().core_cycles(cost().sw.flag_op, rank_);
   co_await charge_impl(Phase::kFlagWait, t);
   co_return machine_->flags().value(ref);
 }

@@ -7,14 +7,39 @@ namespace scc::machine {
 SccMachine::SccMachine(SccConfig config)
     : config_(config),
       topology_(config.tiles_x, config.tiles_y, config.cores_per_tile),
+      fault_model_(config_.faults.empty()
+                       ? std::optional<faults::FaultModel>{}
+                       : std::optional<faults::FaultModel>{std::in_place,
+                                                           config_.faults,
+                                                           topology_}),
       mpb_(topology_.num_cores()),
       flags_(engine_, topology_.num_cores(), config.flags_per_core),
-      latency_(config_.cost.hw, topology_),
+      latency_(config_.cost.hw, topology_, fault_model()),
       traffic_(topology_),
       contention_(topology_, config_.cost.hw.mesh_clock(),
                   config_.cost.hw.link_service_mesh_cycles_per_line,
                   config_.cost.hw.mesh_cycles_per_hop),
       harness_barrier_(engine_) {
+  if (fault_model_) {
+    // Traffic accounting and the contention model follow the degraded
+    // machine too: rerouted paths where links died, stretched service and
+    // traversal windows on slow links.
+    const faults::FaultModel& fm = *fault_model_;
+    if (fm.rerouted()) {
+      traffic_.set_route_fn(
+          [&fm](int a, int b) -> const std::vector<noc::LinkId>& {
+            return fm.route(a, b);
+          });
+    }
+    contention_.set_fault_hooks(
+        fm.rerouted()
+            ? noc::LinkContention::RouteFn(
+                  [&fm](int a, int b) -> const std::vector<noc::LinkId>& {
+                    return fm.route(a, b);
+                  })
+            : noc::LinkContention::RouteFn(),
+        [&fm](const noc::LinkId& link) { return fm.link_factor(link); });
+  }
   if (config_.perturb_seed) {
     engine_.enable_perturbation(sim::PerturbConfig{
         *config_.perturb_seed, SimTime{config_.perturb_max_delay_fs}});

@@ -7,8 +7,10 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "faults/fault_model.hpp"
 #include "machine/config.hpp"
 #include "machine/core_api.hpp"
 #include "machine/flags.hpp"
@@ -40,6 +42,11 @@ class SccMachine {
   [[nodiscard]] noc::LinkContention& contention() { return contention_; }
   [[nodiscard]] const mem::LatencyCalculator& latency() const {
     return latency_;
+  }
+  /// The compiled fault model, or nullptr on a healthy machine
+  /// (config.faults empty).
+  [[nodiscard]] const faults::FaultModel* fault_model() const {
+    return fault_model_ ? &*fault_model_ : nullptr;
   }
   [[nodiscard]] CoreApi& core(int rank) {
     SCC_EXPECTS(rank >= 0 && rank < num_cores());
@@ -86,6 +93,10 @@ class SccMachine {
   SccConfig config_;
   sim::Engine engine_;
   noc::Topology topology_;
+  /// Compiled from config_.faults; disengaged when the spec is empty so the
+  /// healthy machine takes exactly the pre-fault code paths. Declared (and
+  /// therefore built) before latency_, which captures a pointer to it.
+  std::optional<faults::FaultModel> fault_model_;
   mem::MpbStorage mpb_;
   FlagFile flags_;
   mem::LatencyCalculator latency_;

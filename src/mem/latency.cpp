@@ -2,23 +2,56 @@
 
 namespace scc::mem {
 
+namespace {
+
+/// Femtoseconds of a (possibly fractional) number of cycles of `clock`.
+/// For whole cycle counts this is bit-identical to Clock::cycles: the cycle
+/// count is exact in long double, so the product and truncation match.
+SimTime fractional_cycles(const Clock& clock, double cycles) {
+  const long double fs = static_cast<long double>(cycles) *
+                         (1e15L / static_cast<long double>(clock.hz()));
+  return SimTime{static_cast<std::uint64_t>(fs)};
+}
+
+}  // namespace
+
+SimTime LatencyCalculator::scale(SimTime t, double factor) {
+  if (factor == 1.0) return t;  // healthy path: exactly the old arithmetic
+  const long double fs = static_cast<long double>(t.femtoseconds()) *
+                         static_cast<long double>(factor);
+  return SimTime{static_cast<std::uint64_t>(fs)};
+}
+
+SimTime LatencyCalculator::scale_core(SimTime t, int core) const {
+  return faults_ == nullptr ? t : scale(t, faults_->core_factor(core));
+}
+
+double LatencyCalculator::effective_hops(int from, int to) const {
+  if (faults_ == nullptr) return topo_->hops(from, to);
+  return faults_->weighted_hops(from, to);
+}
+
 SimTime LatencyCalculator::mpb_line_access(int accessor, int mpb_owner,
                                            bool is_read) const {
   const Clock core = hw_->core_clock();
   const Clock mesh = hw_->mesh_clock();
   if (topo_->tile_of(accessor) == topo_->tile_of(mpb_owner)) {
     // Local (same-tile) MPB. With the arbiter bug workaround, the access is
-    // converted into a self-addressed packet: 45 core + 8 mesh cycles.
+    // converted into a self-addressed packet: 45 core + 8 mesh cycles. The
+    // self packet never leaves the tile's own router, so link faults don't
+    // apply; the core-side cycles still stretch on a degraded core.
     if (hw_->mpb_bug_workaround) {
-      return core.cycles(hw_->mpb_local_bug_core_cycles) +
+      return scale_core(core.cycles(hw_->mpb_local_bug_core_cycles),
+                        accessor) +
              mesh.cycles(hw_->mpb_local_bug_mesh_cycles);
     }
-    return core.cycles(hw_->mpb_local_core_cycles);
+    return scale_core(core.cycles(hw_->mpb_local_core_cycles), accessor);
   }
-  const auto hops = static_cast<std::uint64_t>(topo_->hops(accessor, mpb_owner));
-  const std::uint64_t directions = is_read ? 2 : 1;  // reads are round trips
-  return core.cycles(hw_->mpb_remote_core_cycles) +
-         mesh.cycles(directions * hops * hw_->mesh_cycles_per_hop);
+  const double hops = effective_hops(accessor, mpb_owner);
+  const double directions = is_read ? 2.0 : 1.0;  // reads are round trips
+  return scale_core(core.cycles(hw_->mpb_remote_core_cycles), accessor) +
+         fractional_cycles(mesh,
+                           directions * hops * hw_->mesh_cycles_per_hop);
 }
 
 SimTime LatencyCalculator::mpb_bulk(int accessor, int mpb_owner,
@@ -27,8 +60,9 @@ SimTime LatencyCalculator::mpb_bulk(int accessor, int mpb_owner,
   const std::uint64_t lines = lines_for(bytes);
   SimTime t = mpb_line_access(accessor, mpb_owner, is_read);
   if (lines > 1) {
-    t += hw_->core_clock().cycles((lines - 1) *
-                                  hw_->mpb_pipelined_line_core_cycles);
+    t += scale_core(hw_->core_clock().cycles(
+                        (lines - 1) * hw_->mpb_pipelined_line_core_cycles),
+                    accessor);
   }
   return t;
 }
@@ -42,20 +76,25 @@ SimTime LatencyCalculator::mpb_word_stream(int accessor, int mpb_owner,
   const Clock mesh = hw_->mesh_clock();
   if (topo_->tile_of(accessor) == topo_->tile_of(mpb_owner)) {
     if (hw_->mpb_bug_workaround) {
-      return core.cycles(words * hw_->mpb_word_local_bug_core_cycles) +
+      return scale_core(core.cycles(words * hw_->mpb_word_local_bug_core_cycles),
+                        accessor) +
              mesh.cycles(words * hw_->mpb_local_bug_mesh_cycles);
     }
-    return core.cycles(words * hw_->mpb_word_local_core_cycles);
+    return scale_core(core.cycles(words * hw_->mpb_word_local_core_cycles),
+                      accessor);
   }
-  const auto hops = static_cast<std::uint64_t>(topo_->hops(accessor, mpb_owner));
-  const std::uint64_t directions = is_read ? 2 : 1;
-  return core.cycles(words * hw_->mpb_word_remote_core_cycles) +
-         mesh.cycles(words * directions * hops * hw_->mesh_cycles_per_hop);
+  const double hops = effective_hops(accessor, mpb_owner);
+  const double directions = is_read ? 2.0 : 1.0;
+  return scale_core(core.cycles(words * hw_->mpb_word_remote_core_cycles),
+                    accessor) +
+         fractional_cycles(mesh, static_cast<double>(words) * directions *
+                                     hops * hw_->mesh_cycles_per_hop);
 }
 
 SimTime LatencyCalculator::mesh_transit(int from, int to) const {
-  const auto hops = static_cast<std::uint64_t>(topo_->hops(from, to));
-  return hw_->mesh_clock().cycles(hops * hw_->mesh_cycles_per_hop);
+  return fractional_cycles(hw_->mesh_clock(),
+                           effective_hops(from, to) *
+                               hw_->mesh_cycles_per_hop);
 }
 
 SimTime LatencyCalculator::priv_access(int core,
@@ -63,21 +102,30 @@ SimTime LatencyCalculator::priv_access(int core,
   const Clock core_clk = hw_->core_clock();
   const Clock mesh = hw_->mesh_clock();
   const Clock dram = hw_->dram_clock();
-  const auto mc_hops = static_cast<std::uint64_t>(topo_->hops_to_mc(core));
+  const double mc_hops =
+      faults_ == nullptr
+          ? static_cast<double>(topo_->hops_to_mc(core))
+          : faults_->weighted_hops_to(core,
+                                      topo_->mc_coord(topo_->mc_of(core)));
 
-  SimTime t = core_clk.cycles(r.hits * hw_->cache_hit_core_cycles);
+  SimTime t =
+      scale_core(core_clk.cycles(r.hits * hw_->cache_hit_core_cycles), core);
   const std::uint64_t dram_lines = r.misses + r.uncached_writes;
   if (dram_lines > 0) {
     // First missing line pays the full off-chip latency; the rest pipeline.
-    t += core_clk.cycles(hw_->dram_core_cycles) +
-         mesh.cycles(mc_hops * hw_->dram_mesh_cycles_per_hop) +
+    // The DRAM service itself runs on the memory controller's clock and is
+    // unaffected by core-side degradation.
+    t += scale_core(core_clk.cycles(hw_->dram_core_cycles), core) +
+         fractional_cycles(mesh, mc_hops * hw_->dram_mesh_cycles_per_hop) +
          dram.cycles(hw_->dram_service_dram_cycles);
-    t += core_clk.cycles((dram_lines - 1) *
-                         hw_->dram_pipelined_line_core_cycles);
+    t += scale_core(core_clk.cycles((dram_lines - 1) *
+                                    hw_->dram_pipelined_line_core_cycles),
+                    core);
   }
   // Dirty evictions drain through the write buffer in the background; they
   // only cost issue bandwidth at the core.
-  t += core_clk.cycles(r.writebacks * hw_->cache_write_core_cycles);
+  t += scale_core(core_clk.cycles(r.writebacks * hw_->cache_write_core_cycles),
+                  core);
   return t;
 }
 

@@ -4,11 +4,19 @@
 // private-memory accesses) to virtual-time durations, composing the clock
 // domains and the hop distances of the mesh. Pure arithmetic -- no state --
 // so it can be unit-tested against the documented formulas directly.
+//
+// An optional faults::FaultModel degrades the arithmetic (DESIGN.md §13):
+// per-core factors multiply every core-clock term of the issuing core,
+// per-link multipliers replace the flat hop count with the factor-weighted
+// length of the (possibly rerouted) path. With no fault model attached --
+// or one whose factors are all 1.0 and whose links are all alive -- every
+// formula reduces bit-identically to the healthy machine.
 #pragma once
 
 #include <cstdint>
 
 #include "common/time.hpp"
+#include "faults/fault_model.hpp"
 #include "mem/cache.hpp"
 #include "mem/cost_model.hpp"
 #include "noc/topology.hpp"
@@ -28,8 +36,9 @@ namespace scc::mem {
 
 class LatencyCalculator {
  public:
-  LatencyCalculator(const HwCostModel& hw, const noc::Topology& topo)
-      : hw_(&hw), topo_(&topo) {}
+  LatencyCalculator(const HwCostModel& hw, const noc::Topology& topo,
+                    const faults::FaultModel* faults = nullptr)
+      : hw_(&hw), topo_(&topo), faults_(faults) {}
 
   /// Access by `accessor` to one line of `mpb_owner`'s MPB.
   /// Reads are mesh round trips; writes are posted (one-way cost at the
@@ -55,16 +64,33 @@ class LatencyCalculator {
   /// Cacheable private-memory access, costed from a cache classification.
   [[nodiscard]] SimTime priv_access(int core, const CacheAccessResult& r) const;
 
-  /// Plain compute: n core cycles.
+  /// Plain compute: n core cycles (healthy machine; no core attribution).
   [[nodiscard]] SimTime core_cycles(std::uint64_t n) const {
     return hw_->core_clock().cycles(n);
   }
 
+  /// Plain compute at a specific core: n core cycles, stretched by the
+  /// core's fault factor (straggler / DVFS). Identical to core_cycles(n)
+  /// when the core is healthy.
+  [[nodiscard]] SimTime core_cycles(std::uint64_t n, int core) const {
+    return scale_core(hw_->core_clock().cycles(n), core);
+  }
+
   [[nodiscard]] const HwCostModel& hw() const { return *hw_; }
+  [[nodiscard]] const faults::FaultModel* faults() const { return faults_; }
 
  private:
+  /// t stretched by `factor`; exactly t when factor == 1 (the healthy-path
+  /// bit-identity guarantee).
+  [[nodiscard]] static SimTime scale(SimTime t, double factor);
+  [[nodiscard]] SimTime scale_core(SimTime t, int core) const;
+  /// Effective (factor-weighted, reroute-aware) hop count between two
+  /// cores' routers; the plain Manhattan distance on a healthy mesh.
+  [[nodiscard]] double effective_hops(int from, int to) const;
+
   const HwCostModel* hw_;
   const noc::Topology* topo_;
+  const faults::FaultModel* faults_;
 };
 
 }  // namespace scc::mem

@@ -22,6 +22,7 @@
 // (deterministic) transfer sequence.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <tuple>
@@ -46,6 +47,12 @@ struct LinkStats {
 
 class LinkContention {
  public:
+  /// Route override (fault reroutes around dead links); must outlive the
+  /// model. Per-link latency multiplier (slow links); 1.0 = healthy.
+  using RouteFn =
+      std::function<const std::vector<LinkId>&(CoreId, CoreId)>;
+  using LinkFactorFn = std::function<double(const LinkId&)>;
+
   LinkContention(const Topology& topo, Clock mesh_clock,
                  std::uint32_t service_cycles_per_line,
                  std::uint32_t hop_mesh_cycles)
@@ -53,6 +60,16 @@ class LinkContention {
         mesh_clock_(mesh_clock),
         service_cycles_per_line_(service_cycles_per_line),
         hop_latency_(mesh_clock.cycles(hop_mesh_cycles)) {}
+
+  /// Install fault hooks (set by SccMachine when a FaultSpec is active):
+  /// transfers then follow the degraded routes, and each link's service
+  /// window and traversal latency stretch by its factor. Empty functions
+  /// reset to the healthy mesh; factor 1.0 everywhere is bit-identical to
+  /// no hooks at all.
+  void set_fault_hooks(RouteFn route, LinkFactorFn factor) {
+    route_fn_ = std::move(route);
+    link_factor_fn_ = std::move(factor);
+  }
 
   /// Registers a transfer of `lines` cache lines from core a's router to
   /// core b's starting at `now`; returns the extra queueing delay the
@@ -91,6 +108,8 @@ class LinkContention {
   Clock mesh_clock_;
   std::uint32_t service_cycles_per_line_;
   SimTime hop_latency_;
+  RouteFn route_fn_;
+  LinkFactorFn link_factor_fn_;
   std::map<Key, SimTime> busy_until_;
   std::map<Key, LinkStats> stats_;
   SimTime total_delay_;

@@ -6,6 +6,10 @@ namespace scc::noc {
 
 void TrafficMatrix::record_transfer(CoreId a, CoreId b, std::uint64_t lines) {
   lines_sent_ += lines;
+  if (route_fn_) {
+    for (const LinkId& link : route_fn_(a, b)) link_lines_[link] += lines;
+    return;
+  }
   for (const LinkId& link : topo_->route(a, b)) link_lines_[link] += lines;
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -14,7 +15,17 @@ namespace scc::noc {
 
 class TrafficMatrix {
  public:
+  /// Route override (fault reroutes around dead links). Returns the static
+  /// route between two cores' routers; must outlive the matrix.
+  using RouteFn =
+      std::function<const std::vector<LinkId>&(CoreId, CoreId)>;
+
   explicit TrafficMatrix(const Topology& topo) : topo_(&topo) {}
+
+  /// Install a route override (empty resets to the topology's XY router).
+  /// Set by SccMachine when a fault model kills links, so per-link traffic
+  /// accounting follows the degraded paths.
+  void set_route_fn(RouteFn fn) { route_fn_ = std::move(fn); }
 
   /// Records `lines` cache-line transfers from core a's router to core b's.
   void record_transfer(CoreId a, CoreId b, std::uint64_t lines);
@@ -48,6 +59,7 @@ class TrafficMatrix {
   };
 
   const Topology* topo_;
+  RouteFn route_fn_;
   std::map<LinkId, std::uint64_t, CoordLess> link_lines_;
   std::uint64_t lines_sent_ = 0;
 };

@@ -1,0 +1,130 @@
+// Fault-injection determinism and bit-identity guarantees (label: faults):
+//
+//   1. the same FaultSpec produces the same simulation, femtosecond for
+//      femtosecond, run after run (faults add no nondeterminism);
+//   2. a *neutral* spec -- factors 1.0, divisor 1 -- is bit-identical to no
+//      spec at all (the scaling paths collapse to the legacy arithmetic);
+//   3. faults change time but never semantics: results verify, traffic
+//      volume is invariant, latency moves in the expected direction.
+#include <gtest/gtest.h>
+
+#include "faults/fault_spec.hpp"
+#include "harness/runner.hpp"
+
+namespace scc::harness {
+namespace {
+
+RunSpec base_spec(PaperVariant variant) {
+  RunSpec spec;
+  spec.collective = Collective::kAllreduce;
+  spec.variant = variant;
+  spec.elements = 64;
+  spec.repetitions = 2;
+  spec.warmup = 1;
+  spec.config.tiles_x = 2;
+  spec.config.tiles_y = 2;
+  return spec;
+}
+
+constexpr PaperVariant kStacks[] = {PaperVariant::kBlocking,
+                                    PaperVariant::kIrcce,
+                                    PaperVariant::kLightweight};
+
+TEST(FaultDeterminism, SameSpecSameSimulation) {
+  RunSpec spec = base_spec(PaperVariant::kLightweight);
+  spec.config.faults =
+      faults::FaultSpec::parse("straggler:3x2.5;slowlink:0,0-1,0x4");
+  const RunResult a = run_collective(spec);
+  const RunResult b = run_collective(spec);
+  EXPECT_EQ(a.mean_latency, b.mean_latency);
+  EXPECT_EQ(a.min_latency, b.min_latency);
+  EXPECT_EQ(a.max_latency, b.max_latency);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.lines_sent, b.lines_sent);
+  EXPECT_EQ(a.line_hops, b.line_hops);
+}
+
+TEST(FaultDeterminism, NeutralSpecIsBitIdenticalToNoSpecOnEveryStack) {
+  for (const PaperVariant variant : kStacks) {
+    const RunResult healthy = run_collective(base_spec(variant));
+    RunSpec neutral = base_spec(variant);
+    // Factors of exactly 1.0 must take the legacy arithmetic path: not just
+    // approximately equal, femtosecond-identical.
+    neutral.config.faults = faults::FaultSpec::parse(
+        "straggler:0x1;straggler:7x1;dvfs:3/1;slowlink:0,0-1,0x1");
+    const RunResult degraded = run_collective(neutral);
+    EXPECT_EQ(healthy.mean_latency, degraded.mean_latency)
+        << variant_name(variant);
+    EXPECT_EQ(healthy.min_latency, degraded.min_latency);
+    EXPECT_EQ(healthy.max_latency, degraded.max_latency);
+    EXPECT_EQ(healthy.events, degraded.events);
+    EXPECT_EQ(healthy.lines_sent, degraded.lines_sent);
+    EXPECT_EQ(healthy.line_hops, degraded.line_hops);
+  }
+}
+
+TEST(FaultDeterminism, StragglerSlowsEveryStackButKeepsResultsAndVolume) {
+  for (const PaperVariant variant : kStacks) {
+    const RunResult healthy = run_collective(base_spec(variant));
+    RunSpec slow = base_spec(variant);
+    slow.config.faults = faults::FaultSpec::parse("straggler:5x3");
+    const RunResult degraded = run_collective(slow);
+    EXPECT_TRUE(degraded.verified) << variant_name(variant);
+    EXPECT_GT(degraded.mean_latency, healthy.mean_latency)
+        << variant_name(variant);
+    // Degradation changes when lines move, never how many.
+    EXPECT_EQ(degraded.lines_sent, healthy.lines_sent)
+        << variant_name(variant);
+  }
+}
+
+TEST(FaultDeterminism, SlowLinkOnTheOnlyPathIncreasesLatency) {
+  // 2x1 mesh: every cross-tile transfer crosses the single mesh link, so an
+  // 8x link cannot hide in schedule slack.
+  RunSpec spec = base_spec(PaperVariant::kLightweight);
+  spec.config.tiles_x = 2;
+  spec.config.tiles_y = 1;
+  const RunResult healthy = run_collective(spec);
+  spec.config.faults = faults::FaultSpec::parse("slowlink:0,0-1,0x8");
+  const RunResult degraded = run_collective(spec);
+  EXPECT_TRUE(degraded.verified);
+  EXPECT_GT(degraded.mean_latency, healthy.mean_latency);
+  EXPECT_EQ(degraded.lines_sent, healthy.lines_sent);
+}
+
+TEST(FaultDeterminism, DeadLinkDetourShowsUpInLineHops) {
+  // Killing (0,0)-(1,0) on a 2x2 mesh forces the 3-hop detour through row
+  // 1: volume (lines_sent) is unchanged, but distance (line_hops) grows.
+  RunSpec spec = base_spec(PaperVariant::kLightweight);
+  const RunResult healthy = run_collective(spec);
+  spec.config.faults = faults::FaultSpec::parse("deadlink:0,0-1,0");
+  const RunResult degraded = run_collective(spec);
+  EXPECT_TRUE(degraded.verified);
+  EXPECT_EQ(degraded.lines_sent, healthy.lines_sent);
+  EXPECT_GT(degraded.line_hops, healthy.line_hops);
+}
+
+TEST(FaultDeterminism, DvfsStepSlowsTheSteppedCore) {
+  RunSpec spec = base_spec(PaperVariant::kBlocking);
+  const RunResult healthy = run_collective(spec);
+  spec.config.faults = faults::FaultSpec::parse("dvfs:2/2;dvfs:3/2");
+  const RunResult degraded = run_collective(spec);
+  EXPECT_TRUE(degraded.verified);
+  EXPECT_GT(degraded.mean_latency, healthy.mean_latency);
+}
+
+TEST(FaultDeterminism, FaultsComposeWithContentionModel) {
+  RunSpec spec = base_spec(PaperVariant::kLightweight);
+  spec.config.cost.hw.model_link_contention = true;
+  const RunResult healthy = run_collective(spec);
+  spec.config.faults =
+      faults::FaultSpec::parse("slowlink:0,0-1,0x4;deadlink:0,1-1,1");
+  const RunResult degraded = run_collective(spec);
+  EXPECT_TRUE(degraded.verified);
+  EXPECT_GT(degraded.mean_latency, healthy.mean_latency);
+  // Determinism holds under contention + faults too.
+  EXPECT_EQ(run_collective(spec).mean_latency, degraded.mean_latency);
+}
+
+}  // namespace
+}  // namespace scc::harness

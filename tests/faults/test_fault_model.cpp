@@ -1,0 +1,156 @@
+// FaultModel semantics: per-core/per-link factors, static reroute around
+// dead links, determinism of the compiled model, and SCC_EXPECTS contract
+// death on semantically invalid specs (label: faults).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "faults/fault_model.hpp"
+
+namespace scc::faults {
+namespace {
+
+TEST(FaultModel, EmptySpecIsTheHealthyMachine) {
+  const noc::Topology topo(3, 2);
+  const FaultModel fm(FaultSpec{}, topo);
+  for (int core = 0; core < topo.num_cores(); ++core) {
+    EXPECT_DOUBLE_EQ(fm.core_factor(core), 1.0);
+  }
+  EXPECT_FALSE(fm.rerouted());
+  for (noc::CoreId a = 0; a < topo.num_cores(); ++a) {
+    for (noc::CoreId b = 0; b < topo.num_cores(); ++b) {
+      EXPECT_EQ(fm.route(a, b), topo.route(a, b));
+      EXPECT_DOUBLE_EQ(fm.weighted_hops(a, b),
+                       static_cast<double>(topo.hops(a, b)));
+    }
+  }
+}
+
+TEST(FaultModel, StragglerAndDvfsComposeMultiplicatively) {
+  const noc::Topology topo(3, 2);
+  const FaultModel fm(FaultSpec::parse("straggler:5x2.5;dvfs:5/2;dvfs:3/3"),
+                      topo);
+  EXPECT_DOUBLE_EQ(fm.core_factor(5), 2.5 * 2.0);
+  EXPECT_DOUBLE_EQ(fm.core_factor(3), 3.0);
+  EXPECT_DOUBLE_EQ(fm.core_factor(0), 1.0);
+}
+
+TEST(FaultModel, SlowLinkAppliesToBothDirectionsAndComposes) {
+  const noc::Topology topo(3, 2);
+  const FaultModel fm(
+      FaultSpec::parse("slowlink:0,0-1,0x4;slowlink:1,0-0,0x2"), topo);
+  // Either naming order targets the same physical channel; repeated clauses
+  // compose multiplicatively on both directed links.
+  EXPECT_DOUBLE_EQ(fm.link_factor({{0, 0}, {1, 0}}), 8.0);
+  EXPECT_DOUBLE_EQ(fm.link_factor({{1, 0}, {0, 0}}), 8.0);
+  EXPECT_DOUBLE_EQ(fm.link_factor({{1, 0}, {2, 0}}), 1.0);
+  // Slow links never change paths, only their weight.
+  EXPECT_FALSE(fm.rerouted());
+  EXPECT_EQ(fm.route(0, 2), topo.route(0, 2));
+  EXPECT_DOUBLE_EQ(fm.weighted_hops(0, 2), 8.0);  // one hop at composed 8x
+}
+
+TEST(FaultModel, WeightedHopsSumLinkFactorsAlongTheRoute) {
+  const noc::Topology topo(3, 2);
+  const FaultModel fm(FaultSpec::parse("slowlink:0,0-1,0x4"), topo);
+  // Core 0 (tile 0,0) to core 4 (tile 2,0): two hops, the first at 4x.
+  EXPECT_DOUBLE_EQ(fm.weighted_hops(0, 4), 4.0 + 1.0);
+  // Same tile: no hops.
+  EXPECT_DOUBLE_EQ(fm.weighted_hops(0, 1), 0.0);
+}
+
+TEST(FaultModel, DeadLinkReroutesMinimallyAndDeterministically) {
+  const noc::Topology topo(2, 2);
+  const FaultModel fm(FaultSpec::parse("deadlink:0,0-1,0"), topo);
+  EXPECT_TRUE(fm.rerouted());
+  // Tile (0,0) to tile (1,0): the direct hop is dead, so the minimal
+  // surviving route detours through row 1 (3 hops), in both directions.
+  const auto& forward = fm.route(0, 2);   // cores 0 -> 2 (tiles 0 -> 1)
+  const auto& backward = fm.route(2, 0);
+  ASSERT_EQ(forward.size(), 3u);
+  ASSERT_EQ(backward.size(), 3u);
+  const noc::LinkId dead_fwd{{0, 0}, {1, 0}};
+  const noc::LinkId dead_bwd{{1, 0}, {0, 0}};
+  for (const noc::LinkId& l : forward) {
+    EXPECT_FALSE(l == dead_fwd || l == dead_bwd);
+  }
+  // Routes are contiguous walks from source router to destination router.
+  EXPECT_EQ(forward.front().from, (noc::TileCoord{0, 0}));
+  EXPECT_EQ(forward.back().to, (noc::TileCoord{1, 0}));
+  for (std::size_t i = 1; i < forward.size(); ++i) {
+    EXPECT_EQ(forward[i].from, forward[i - 1].to);
+  }
+  EXPECT_DOUBLE_EQ(fm.weighted_hops(0, 2), 3.0);
+  // Pairs with a surviving same-length alternative stay at Manhattan
+  // distance: (0,0) -> (1,1) can route via (0,1).
+  EXPECT_DOUBLE_EQ(fm.weighted_hops(0, 6), 2.0);
+
+  // The compiled model is a pure function of (spec, topology).
+  const FaultModel again(FaultSpec::parse("deadlink:0,0-1,0"), topo);
+  for (noc::CoreId a = 0; a < topo.num_cores(); ++a) {
+    for (noc::CoreId b = 0; b < topo.num_cores(); ++b) {
+      EXPECT_EQ(fm.route(a, b), again.route(a, b));
+    }
+  }
+}
+
+TEST(FaultModel, WeightedHopsToMatchesMcDistanceOnHealthyMesh) {
+  const noc::Topology topo(6, 4);
+  const FaultModel fm(FaultSpec{}, topo);
+  for (noc::CoreId core = 0; core < topo.num_cores(); ++core) {
+    EXPECT_DOUBLE_EQ(
+        fm.weighted_hops_to(core, topo.mc_coord(topo.mc_of(core))),
+        static_cast<double>(topo.hops_to_mc(core)))
+        << "core " << core;
+  }
+}
+
+TEST(FaultModel, CheckReportsTheFirstProblem) {
+  const noc::Topology topo(3, 2);
+  EXPECT_FALSE(FaultModel::check(FaultSpec{}, topo).has_value());
+  EXPECT_FALSE(
+      FaultModel::check(FaultSpec::parse("straggler:11x2"), topo).has_value());
+  const struct {
+    const char* text;
+    const char* why;
+  } bad[] = {
+      {"straggler:12x2", "out of range"},     // cores are 0..11 on 3x2
+      {"straggler:3x0.5", "factor"},          // speedups are not faults
+      {"dvfs:3/0", "divisor"},                // zero frequency
+      {"slowlink:0,0-2,0x2", "adjacent"},     // not neighbours
+      {"slowlink:0,0-0,2x2", "mesh"},         // tile (0,2) off a 3x2 mesh
+      {"deadlink:0,0-1,0;deadlink:0,1-1,1;deadlink:0,0-0,1", "disconnect"},
+  };
+  for (const auto& c : bad) {
+    const auto err = FaultModel::check(FaultSpec::parse(c.text), topo);
+    ASSERT_TRUE(err.has_value()) << c.text;
+    EXPECT_NE(err->find(c.why), std::string::npos)
+        << c.text << " -> " << *err;
+  }
+}
+
+using FaultModelDeathTest = ::testing::Test;
+
+TEST(FaultModelDeathTest, ConstructorEnforcesCheckWithContracts) {
+  const noc::Topology topo(3, 2);
+  // Every condition check() reports is an SCC_EXPECTS precondition of the
+  // constructor: malformed --faults= specs that slip past the CLI guard die
+  // loudly instead of simulating a nonsense machine.
+  EXPECT_DEATH(FaultModel(FaultSpec::parse("straggler:99x2"), topo),
+               "precondition");
+  EXPECT_DEATH(FaultModel(FaultSpec::parse("straggler:0x0.5"), topo),
+               "precondition");
+  EXPECT_DEATH(FaultModel(FaultSpec::parse("dvfs:0/0"), topo), "precondition");
+  EXPECT_DEATH(FaultModel(FaultSpec::parse("slowlink:0,0-2,0x2"), topo),
+               "precondition");
+  EXPECT_DEATH(FaultModel(FaultSpec::parse("deadlink:0,0-5,5"), topo),
+               "precondition");
+  // A 2x1 mesh has a single link: killing it disconnects the tile graph.
+  const noc::Topology line(2, 1);
+  EXPECT_DEATH(FaultModel(FaultSpec::parse("deadlink:0,0-1,0"), line),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace scc::faults

@@ -1,0 +1,83 @@
+// Selector-under-degradation grid (label: faults): every algorithm variant
+// of every collective that has one -- plus the analytic Selector's kAuto
+// pick -- must still produce element-wise correct results on a degraded
+// machine. Robustness of the *ranking* (is the pick still fastest?) is a
+// bench question (bench/abl_degradation); correctness of every variant on
+// every degraded machine is a test question, answered here.
+#include <gtest/gtest.h>
+
+#include "coll/algos.hpp"
+#include "harness/runner.hpp"
+
+namespace scc::harness {
+namespace {
+
+constexpr Collective kAlgoCollectives[] = {
+    Collective::kAllgather, Collective::kAlltoall, Collective::kReduceScatter,
+    Collective::kAllreduce};
+
+constexpr const char* kScenarios[] = {
+    "straggler:4x3",
+    "dvfs:2/2;dvfs:3/2",
+    "slowlink:0,0-1,0x8",
+    "deadlink:0,0-1,0",
+    "straggler:1x2;slowlink:1,0-2,0x4;deadlink:0,0-0,1",
+};
+
+class SelectorDegradation : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SelectorDegradation, EveryAlgorithmVerifiesOnTheDegradedMachine) {
+  RunSpec base;
+  base.variant = PaperVariant::kLightweight;
+  base.elements = 45;  // not a multiple of p: wraparound + ragged blocks
+  base.repetitions = 1;
+  base.warmup = 1;
+  base.config.tiles_x = 3;
+  base.config.tiles_y = 2;
+  base.config.faults = faults::FaultSpec::parse(GetParam());
+  for (const Collective c : kAlgoCollectives) {
+    const auto kind = algo_kind(c);
+    ASSERT_TRUE(kind.has_value());
+    std::vector<coll::Algo> algos(coll::algos_for(*kind).begin(),
+                                  coll::algos_for(*kind).end());
+    algos.push_back(coll::Algo::kAuto);
+    for (const coll::Algo a : algos) {
+      RunSpec spec = base;
+      spec.collective = c;
+      spec.algo = a;
+      SCOPED_TRACE(std::string(collective_name(c)) + "/" +
+                   std::string(coll::algo_name(a)) + " faults=" + GetParam());
+      const RunResult result = run_collective(spec);  // throws on mismatch
+      EXPECT_TRUE(result.verified);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, SelectorDegradation,
+                         ::testing::ValuesIn(kScenarios),
+                         [](const auto& param_info) {
+                           return "scenario" +
+                                  std::to_string(param_info.index);
+                         });
+
+// The Selector's pick is analytic -- a pure function of (kind, n, p, prims)
+// -- so injecting faults must not change which algorithm kAuto resolves to
+// (reproducibility of runs labelled kAuto, and the premise of the
+// abl_degradation pick_ok column).
+TEST(SelectorDegradation, AnalyticPickIsFaultBlind) {
+  for (const Collective c : kAlgoCollectives) {
+    const auto kind = algo_kind(c);
+    ASSERT_TRUE(kind.has_value());
+    for (const std::size_t n : {4u, 48u, 192u, 1536u}) {
+      const coll::Algo pick =
+          coll::select_algo(*kind, n, 12, coll::Prims::kLightweight);
+      // select_algo takes no machine: nothing about a FaultSpec can reach
+      // it. This test pins the signature assumption the bench relies on.
+      EXPECT_EQ(pick, coll::select_algo(*kind, n, 12,
+                                        coll::Prims::kLightweight));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scc::harness

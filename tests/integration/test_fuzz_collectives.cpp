@@ -1,5 +1,6 @@
 // Seeded random fuzzing across the full (collective x variant x size x
-// mesh) configuration space. Every sampled configuration runs on a fresh
+// mesh x algorithm x fault) configuration space. Every sampled
+// configuration runs on a fresh
 // machine and is verified element-wise against the serial reference by the
 // harness (which throws on any mismatch). Catches interaction bugs the
 // hand-picked parameter grids miss -- wraparound block indices, degenerate
@@ -9,6 +10,7 @@
 #include <iterator>
 
 #include "common/rng.hpp"
+#include "faults/fault_model.hpp"
 #include "harness/runner.hpp"
 
 namespace scc::harness {
@@ -19,6 +21,58 @@ struct MeshShape {
 };
 
 constexpr MeshShape kMeshes[] = {{1, 1}, {2, 1}, {3, 1}, {2, 2}, {3, 2}};
+
+/// A random mesh link of the sampled shape (requires at least one link).
+faults::LinkRef sample_link(Xoshiro256& rng, const MeshShape& mesh) {
+  faults::LinkRef link;
+  const bool horizontal =
+      mesh.y == 1 || (mesh.x > 1 && rng.below(2) == 0);
+  if (horizontal) {
+    link.a.x = static_cast<int>(rng.below(static_cast<std::uint64_t>(mesh.x - 1)));
+    link.a.y = static_cast<int>(rng.below(static_cast<std::uint64_t>(mesh.y)));
+    link.b = {link.a.x + 1, link.a.y};
+  } else {
+    link.a.x = static_cast<int>(rng.below(static_cast<std::uint64_t>(mesh.x)));
+    link.a.y = static_cast<int>(rng.below(static_cast<std::uint64_t>(mesh.y - 1)));
+    link.b = {link.a.x, link.a.y + 1};
+  }
+  return link;
+}
+
+/// 1-2 random fault clauses valid for the sampled mesh: stragglers and DVFS
+/// steps always; slow links when the mesh has links at all; dead links only
+/// when both dimensions exceed 1 (one dead link then never disconnects).
+faults::FaultSpec sample_faults(Xoshiro256& rng, const MeshShape& mesh,
+                                int p) {
+  faults::FaultSpec spec;
+  const bool has_links = mesh.x > 1 || mesh.y > 1;
+  const bool can_kill = mesh.x > 1 && mesh.y > 1;
+  const int clauses = 1 + static_cast<int>(rng.below(2));
+  for (int i = 0; i < clauses; ++i) {
+    const std::uint64_t kinds = has_links ? (can_kill ? 4u : 3u) : 2u;
+    switch (rng.below(kinds)) {
+      case 0:
+        spec.stragglers.push_back(
+            {static_cast<int>(rng.below(static_cast<std::uint64_t>(p))),
+             1.5 + 0.5 * static_cast<double>(rng.below(6))});
+        break;
+      case 1:
+        spec.dvfs.push_back(
+            {static_cast<int>(rng.below(static_cast<std::uint64_t>(p))),
+             2 + static_cast<int>(rng.below(3))});
+        break;
+      case 2:
+        spec.slow_links.push_back(
+            {sample_link(rng, mesh),
+             2.0 * static_cast<double>(1 + rng.below(4))});
+        break;
+      default:
+        spec.dead_links.push_back(sample_link(rng, mesh));
+        break;
+    }
+  }
+  return spec;
+}
 
 constexpr Collective kCollectives[] = {
     Collective::kAllgather,     Collective::kAlltoall,
@@ -79,6 +133,19 @@ TEST_P(FuzzCollectives, RandomConfigurationVerifies) {
     // Half the draws run under a perturbed schedule (seeded, reproducible),
     // so the fuzzer explores interleavings as well as configurations.
     if (rng.below(2) == 0) spec.config.perturb_seed = rng();
+    // A third of the draws simulate on a degraded machine (src/faults):
+    // random stragglers, DVFS steps, slow and dead links, cross-bred with
+    // every other dimension. Faults move timings -- verification against
+    // the serial reference must still pass on every degraded machine. A
+    // rare invalid sample (e.g. two dead links isolating a tile) falls
+    // back to the healthy machine instead of aborting the constructor.
+    if (rng.below(3) == 0) {
+      faults::FaultSpec faults = sample_faults(rng, mesh, p);
+      const noc::Topology topo(mesh.x, mesh.y, 2);
+      if (!faults::FaultModel::check(faults, topo)) {
+        spec.config.faults = std::move(faults);
+      }
+    }
     // The algorithm dimension (coll/algos.hpp), for the collectives and
     // variants that have one: paper default, each implemented variant, or
     // the auto Selector.
@@ -101,7 +168,10 @@ TEST_P(FuzzCollectives, RandomConfigurationVerifies) {
                             : std::string()) +
                  (spec.config.perturb_seed
                       ? " perturb=" + std::to_string(*spec.config.perturb_seed)
-                      : std::string()));
+                      : std::string()) +
+                 (spec.config.faults.empty()
+                      ? std::string()
+                      : " faults=" + spec.config.faults.to_string()));
     const RunResult result = run_collective(spec);  // throws on mismatch
     EXPECT_TRUE(result.verified);
   }

@@ -1,0 +1,45 @@
+// Pins the SccConfig defaults that the rest of the repo (and the committed
+// bench baselines) assume. mpb_bug_workaround in particular has three
+// sites that must agree: mem::HwCostModel's member default is THE
+// authoritative value (true -- the paper's chip has the tile-arbiter bug),
+// SccConfig::paper_default() inherits it unchanged, and
+// SccConfig::bug_fixed() is the one deliberate opt-out. If any of the three
+// drifts, every latency in the committed baselines silently shifts.
+#include <gtest/gtest.h>
+
+#include "machine/config.hpp"
+#include "mem/cost_model.hpp"
+
+namespace scc::machine {
+namespace {
+
+TEST(SccConfig, MpbBugWorkaroundDefaultsAgreeAcrossAllThreeSites) {
+  EXPECT_TRUE(mem::HwCostModel{}.mpb_bug_workaround);
+  EXPECT_TRUE(SccConfig{}.cost.hw.mpb_bug_workaround);
+  EXPECT_TRUE(SccConfig::paper_default().cost.hw.mpb_bug_workaround);
+  EXPECT_FALSE(SccConfig::bug_fixed().cost.hw.mpb_bug_workaround);
+}
+
+TEST(SccConfig, BugFixedDiffersFromPaperDefaultOnlyInTheWorkaround) {
+  SccConfig fixed = SccConfig::bug_fixed();
+  const SccConfig paper = SccConfig::paper_default();
+  EXPECT_NE(fixed.cost.hw.mpb_bug_workaround,
+            paper.cost.hw.mpb_bug_workaround);
+  fixed.cost.hw.mpb_bug_workaround = paper.cost.hw.mpb_bug_workaround;
+  // Everything else must match the paper machine (shape, clocks, faults).
+  EXPECT_EQ(fixed.tiles_x, paper.tiles_x);
+  EXPECT_EQ(fixed.tiles_y, paper.tiles_y);
+  EXPECT_EQ(fixed.cores_per_tile, paper.cores_per_tile);
+  EXPECT_EQ(fixed.faults, paper.faults);
+}
+
+TEST(SccConfig, PaperDefaultIsTheHealthy48CoreMachine) {
+  const SccConfig config = SccConfig::paper_default();
+  EXPECT_EQ(config.num_cores(), 48);
+  EXPECT_TRUE(config.faults.empty());
+  EXPECT_FALSE(config.cost.hw.model_link_contention);
+  EXPECT_FALSE(config.perturb_seed.has_value());
+}
+
+}  // namespace
+}  // namespace scc::machine
