@@ -10,9 +10,14 @@
 //   sweep_serial /   -- a Fig. 9f-style (size x variant) sweep, first with
 //   sweep_jobs          jobs=1 and then fanned out over --jobs host
 //                       threads; the ratio is the host-parallel speedup.
+//   pdes_mesh_serial -- the big-mesh halo-exchange scenario (48x24 tiles,
+//   pdes_mesh_workers   8 column-slab partitions) drained by the
+//                       conservative-PDES engine with 1 worker and then
+//                       with --jobs workers; the ratio is the intra-run
+//                       parallel speedup (same virtual run, same bytes).
 //
 //   selfperf [--events=N] [--from=A] [--to=B] [--step=S] [--reps=K]
-//            [--jobs=N]
+//            [--jobs=N] [--pdes-steps=N]
 //
 // Prints a table (events, wall ms, ns/event, Mevents/s, speedup) and
 // writes bench_results/selfperf.csv with the full data. The scc-bench-v1
@@ -33,8 +38,11 @@
 #include "common/string_util.hpp"
 #include "common/table.hpp"
 #include "exec/executor.hpp"
+#include "harness/pdes_scenario.hpp"
 #include "harness/sweep.hpp"
+#include "sim/calendar_queue.hpp"
 #include "sim/engine.hpp"
+#include "sim/event_heap.hpp"
 
 namespace {
 
@@ -68,6 +76,31 @@ struct Row {
   bool gated = false;  // included in the compare-gated JSON
 };
 
+/// The queue-structure microbench: the engine_hot_loop event pattern (64
+/// interleaved self-rescheduling chains, jittered increments) run directly
+/// against a priority-queue implementation -- no engine, no callables, so
+/// the rows isolate the data structure itself (MoveHeap vs CalendarQueue).
+struct QItem {
+  std::uint64_t key = 0;
+  std::uint64_t seq = 0;
+};
+
+template <typename Queue>
+std::uint64_t drive_queue(Queue& queue, std::uint64_t pops) {
+  constexpr std::uint64_t kChains = 64;
+  std::uint64_t seq = 0;
+  for (std::uint64_t i = 0; i < kChains; ++i)
+    queue.push(QItem{i * 7, seq++});
+  std::uint64_t checksum = 0;
+  for (std::uint64_t n = 0; n < pops; ++n) {
+    const QItem item = queue.pop_min();
+    checksum ^= item.key + item.seq;
+    const std::uint64_t jitter = (item.seq * 2654435761ULL >> 13) & 63;
+    queue.push(QItem{item.key + 1 + jitter, seq++});
+  }
+  return checksum;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -78,15 +111,18 @@ int main(int argc, char** argv) {
     const auto to = flags.get_int("to", 700);
     const auto step = flags.get_int("step", 25);
     const int reps = static_cast<int>(flags.get_int("reps", 1));
+    const auto pdes_steps = flags.get_int("pdes-steps", 200);
     const int jobs = scc::exec::jobs_flag(flags);
     for (const std::string& name : flags.unconsumed()) {
       std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
       return 2;
     }
-    if (events_target < 1 || from < 1 || to < from || step < 1 || reps < 1) {
+    if (events_target < 1 || from < 1 || to < from || step < 1 || reps < 1 ||
+        pdes_steps < 1) {
       std::fprintf(stderr,
                    "usage: selfperf [--events=N>=1] [--from=A] [--to=B>=A] "
-                   "[--step=S>=1] [--reps=K>=1] [--jobs=N>=1]\n");
+                   "[--step=S>=1] [--reps=K>=1] [--jobs=N>=1] "
+                   "[--pdes-steps=N>=1]\n");
       return 2;
     }
 
@@ -151,6 +187,76 @@ int main(int argc, char** argv) {
                          ms_since(t0), /*gated=*/false});
     }
 
+    // Scenarios 5/6: the conservative-PDES big mesh, serial and parallel.
+    // Same virtual run both times (the drain is bit-identical for any
+    // worker count); only the host wall-clock differs. The serial row is
+    // gated; the workers row depends on host core count, so it is reported
+    // but not gated -- selfperf_smoke.cmake separately checks it beats the
+    // committed serial baseline ("intra-run parallelism actually pays").
+    scc::harness::PdesScenarioSpec mesh;
+    mesh.tiles_x = 48;
+    mesh.tiles_y = 24;
+    mesh.partitions = 8;
+    mesh.steps = static_cast<int>(pdes_steps);
+    {
+      mesh.workers = 1;
+      const auto t0 = Clock::now();
+      const auto result = scc::harness::run_pdes_mesh(mesh);
+      rows.push_back(Row{"pdes_mesh_serial", result.events, ms_since(t0),
+                         /*gated=*/true});
+    }
+    {
+      mesh.workers = resolved_jobs;
+      const auto t0 = Clock::now();
+      const auto result = scc::harness::run_pdes_mesh(mesh);
+      rows.push_back(Row{scc::strprintf("pdes_mesh_workers%d", resolved_jobs),
+                         result.events, ms_since(t0), /*gated=*/false});
+    }
+
+    // Scenarios 7/8: the queue-structure microbench. Identical event
+    // streams; same pop order by the total-order contract (the
+    // differential tests pin that down) -- the checksum comparison below
+    // is a cheap cross-check.
+    const auto queue_pops = static_cast<std::uint64_t>(events_target);
+    std::uint64_t heap_checksum = 0, calendar_checksum = 0;
+    {
+      struct QGreater {
+        bool operator()(const QItem& a, const QItem& b) const {
+          if (a.key != b.key) return a.key > b.key;
+          return a.seq > b.seq;
+        }
+      };
+      scc::sim::MoveHeap<QItem, QGreater> heap;
+      const auto t0 = Clock::now();
+      heap_checksum = drive_queue(heap, queue_pops);
+      rows.push_back(
+          Row{"queue_moveheap", queue_pops, ms_since(t0), /*gated=*/true});
+    }
+    {
+      struct QLess {
+        bool operator()(const QItem& a, const QItem& b) const {
+          if (a.key != b.key) return a.key < b.key;
+          return a.seq < b.seq;
+        }
+      };
+      struct QKey {
+        std::uint64_t operator()(const QItem& a) const { return a.key; }
+      };
+      scc::sim::CalendarQueue<QItem, QLess, QKey> calendar;
+      const auto t0 = Clock::now();
+      calendar_checksum = drive_queue(calendar, queue_pops);
+      rows.push_back(
+          Row{"queue_calendar", queue_pops, ms_since(t0), /*gated=*/true});
+    }
+    if (heap_checksum != calendar_checksum) {
+      std::fprintf(stderr,
+                   "queue microbench checksum mismatch (heap %llx vs "
+                   "calendar %llx): pop orders diverged\n",
+                   static_cast<unsigned long long>(heap_checksum),
+                   static_cast<unsigned long long>(calendar_checksum));
+      return 2;
+    }
+
     scc::Table table(
         {"scenario", "events", "wall_ms", "ns_per_event", "Mevents_per_s"});
     for (const Row& r : rows) {
@@ -176,6 +282,13 @@ int main(int argc, char** argv) {
         "(%.0f ms -> %.0f ms)\n",
         resolved_jobs, jobs_ms > 0.0 ? serial_ms / jobs_ms : 0.0, serial_ms,
         jobs_ms);
+    const double pdes_serial_ms = rows[4].wall_ms;
+    const double pdes_workers_ms = rows[5].wall_ms;
+    std::cout << scc::strprintf(
+        "pdes speedup with %d worker(s): %.2fx (%.0f ms -> %.0f ms)\n",
+        resolved_jobs,
+        pdes_workers_ms > 0.0 ? pdes_serial_ms / pdes_workers_ms : 0.0,
+        pdes_serial_ms, pdes_workers_ms);
 
     std::filesystem::create_directories("bench_results");
     table.write_csv_file("bench_results/selfperf.csv");

@@ -20,10 +20,43 @@ file(MAKE_DIRECTORY "${WORK_DIR}")
 execute_process(
   COMMAND "${SELFPERF}"
     --events=1000000 --from=540 --to=580 --step=20 --reps=1 --jobs=2
+    --pdes-steps=200
   WORKING_DIRECTORY "${WORK_DIR}"
   RESULT_VARIABLE bench_rc)
 if(NOT bench_rc EQUAL 0)
   message(FATAL_ERROR "selfperf failed (exit ${bench_rc})")
+endif()
+
+# Intra-run parallel drain overhead gate: the conservative-PDES big mesh
+# with 2 workers must stay within 1.5x of the same run drained serially.
+# On a multicore host the workers row should *beat* the serial row (that is
+# the events/sec win the parallel drain exists for); single-core CI runners
+# cannot show a speedup, so the enforced bound is "the window protocol's
+# barriers are cheap", which is host-shape independent.
+file(STRINGS "${WORK_DIR}/bench_results/selfperf.csv" selfperf_rows)
+set(pdes_serial_ms "")
+set(pdes_workers_ms "")
+foreach(row IN LISTS selfperf_rows)
+  if(row MATCHES "^pdes_mesh_serial,[0-9]+,([0-9.]+),")
+    set(pdes_serial_ms "${CMAKE_MATCH_1}")
+  elseif(row MATCHES "^pdes_mesh_workers[0-9]+,[0-9]+,([0-9.]+),")
+    set(pdes_workers_ms "${CMAKE_MATCH_1}")
+  endif()
+endforeach()
+if(pdes_serial_ms STREQUAL "" OR pdes_workers_ms STREQUAL "")
+  message(FATAL_ERROR "selfperf.csv is missing the pdes_mesh rows")
+endif()
+# CMake math() is integer-only: compare in tenths of a millisecond.
+string(REGEX REPLACE "^([0-9]+)\\.([0-9]).*" "\\1\\2" serial_tenths
+  "${pdes_serial_ms}")
+string(REGEX REPLACE "^([0-9]+)\\.([0-9]).*" "\\1\\2" workers_tenths
+  "${pdes_workers_ms}")
+math(EXPR pdes_budget_tenths "(${serial_tenths} * 15) / 10")
+if(workers_tenths GREATER "${pdes_budget_tenths}")
+  message(FATAL_ERROR
+    "pdes_mesh_workers took ${pdes_workers_ms} ms against "
+    "${pdes_serial_ms} ms serial (> 1.5x): the parallel drain's "
+    "window/barrier overhead regressed")
 endif()
 
 execute_process(

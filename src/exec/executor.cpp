@@ -56,44 +56,121 @@ int jobs_flag(const CliFlags& flags) {
   return static_cast<int>(jobs);
 }
 
-void for_each_index(std::size_t count, int jobs,
-                    const std::function<void(std::size_t)>& fn) {
-  const int workers = resolve_jobs(jobs);
+WorkerPool::WorkerPool(int threads) {
+  SCC_EXPECTS(threads >= 1);
+  helpers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t)
+    helpers_.emplace_back([this] { helper_loop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& helper : helpers_) helper.join();
+}
+
+void WorkerPool::work(Round& round) {
+  for (;;) {
+    const std::size_t i = round.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= round.count) return;
+    try {
+      (*round.fn)(i);
+    } catch (...) {
+      round.errors[i] = std::current_exception();
+    }
+    // The release increment pairs with run_round's acquire read: every
+    // fn(i) effect (including errors[i]) happens-before the round's end.
+    // Only the LAST finisher takes the mutex and notifies -- one park/notify
+    // round trip per round, not per index.
+    if (round.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        round.count) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::helper_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Round* round = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      round = round_;
+      // Register as active under the same lock that published round_: the
+      // round's stack frame stays alive until every registered helper has
+      // deregistered, so a straggler can never touch a dead Round (its last
+      // next.fetch_add probes past count AFTER all indices completed).
+      if (round != nullptr) ++active_;
+    }
+    if (round != nullptr) {
+      work(*round);
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::run_round(std::size_t count,
+                           const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  if (workers <= 1 || count == 1) {
+  if (helpers_.empty() || count == 1) {
     // Exactly the serial path: inline, in order, first failure propagates
     // from its own frame.
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
 
+  Round round;
+  round.count = count;
+  round.fn = &fn;
+  round.errors.resize(count);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    SCC_EXPECTS(!in_round_);
+    in_round_ = true;
+    round_ = &round;
+    ++epoch_;
+  }
+  cv_work_.notify_all();  // one batched wakeup for the whole round
+  work(round);            // the calling thread is worker 0
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] {
+      return round.completed.load(std::memory_order_acquire) == count &&
+             active_ == 0;
+    });
+    round_ = nullptr;
+    in_round_ = false;
+  }
+
   // One slot per index; the first failing INDEX (not the first failing
-  // thread) is rethrown below so the surfaced error is schedule-independent.
-  std::vector<std::exception_ptr> errors(count);
-  std::atomic<std::size_t> next{0};
-  const auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        fn(i);
-      } catch (...) {
-        errors[i] = std::current_exception();
-      }
-    }
-  };
-
-  const std::size_t spawn =
-      std::min(static_cast<std::size_t>(workers), count);
-  std::vector<std::thread> pool;
-  pool.reserve(spawn - 1);
-  for (std::size_t t = 1; t < spawn; ++t) pool.emplace_back(worker);
-  worker();  // the calling thread is worker 0
-  for (std::thread& t : pool) t.join();
-
-  for (std::exception_ptr& e : errors) {
+  // thread) is rethrown so the surfaced error is schedule-independent.
+  for (std::exception_ptr& e : round.errors) {
     if (e) std::rethrow_exception(e);
   }
+}
+
+void for_each_index(std::size_t count, int jobs,
+                    const std::function<void(std::size_t)>& fn) {
+  const int workers = resolve_jobs(jobs);
+  if (count == 0) return;
+  if (workers <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // A transient pool: spawn, one round, join -- the historical
+  // for_each_index contract, now sharing the WorkerPool implementation the
+  // PDES drain reuses across tens of thousands of rounds.
+  WorkerPool pool(static_cast<int>(
+      std::min(static_cast<std::size_t>(workers), count)));
+  pool.run_round(count, fn);
 }
 
 }  // namespace scc::exec

@@ -22,10 +22,15 @@
 // deterministic replay simple. Shared-recorder work (tracing) must use it.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -53,11 +58,68 @@ namespace scc::exec {
 /// std::runtime_error through CliFlags' hardened get_int path.
 [[nodiscard]] int jobs_flag(const CliFlags& flags);
 
+/// Persistent bounded worker pool for repeated index fan-outs.
+///
+/// for_each_index spawns and joins threads per call, which is fine for a
+/// sweep (a handful of fan-outs, each seconds long) but hopeless for an
+/// intra-run PDES drain that executes tens of thousands of short window
+/// rounds: thread creation would dominate. A WorkerPool keeps `threads - 1`
+/// helpers parked on one condition variable across rounds, and park/notify
+/// is batched per ROUND, not per task: run_round() publishes the whole round
+/// and issues a single notify_all; helpers then self-serve indices from an
+/// atomic counter, and only the last finisher signals completion.
+///
+/// run_round(count, fn) runs fn(0..count-1) across the pool (the calling
+/// thread participates as worker 0) and returns when every index completed.
+/// The first exception IN INDEX ORDER is rethrown after the round drains --
+/// the same schedule-independent error contract as for_each_index. Rounds
+/// are strictly sequential: run_round must not be called concurrently or
+/// reentrantly (SCC_EXPECTS-checked).
+class WorkerPool {
+ public:
+  /// `threads` >= 1: maximum concurrent executors, including the caller.
+  /// threads == 1 spawns nothing and makes run_round a plain inline loop.
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] int threads() const {
+    return static_cast<int>(helpers_.size()) + 1;
+  }
+
+  void run_round(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Round {
+    std::size_t count = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::vector<std::exception_ptr> errors;
+  };
+
+  void helper_loop();
+  void work(Round& round);
+
+  std::mutex mutex_;
+  std::condition_variable cv_work_;   // helpers park here between rounds
+  std::condition_variable cv_done_;   // run_round parks here for the tail
+  Round* round_ = nullptr;            // published under mutex_
+  std::uint64_t epoch_ = 0;           // bumped per round (helper wake predicate)
+  int active_ = 0;                    // helpers inside the current round
+  bool stop_ = false;
+  bool in_round_ = false;
+  std::vector<std::thread> helpers_;
+};
+
 /// Runs fn(0..count-1) on a bounded pool of `jobs` workers and returns
 /// when every index completed. Indices are handed out in order (work
 /// stealing from one atomic counter); completion order is unspecified.
 /// The first exception IN INDEX ORDER is rethrown after the pool drains.
-/// jobs <= 1 (after resolve) runs inline in index order.
+/// jobs <= 1 (after resolve) runs inline in index order. One-shot
+/// convenience over WorkerPool (a transient pool per call).
 void for_each_index(std::size_t count, int jobs,
                     const std::function<void(std::size_t)>& fn);
 

@@ -1,0 +1,248 @@
+#include "harness/pdes_scenario.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "common/string_util.hpp"
+#include "mem/cost_model.hpp"
+#include "noc/topology.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/recorder.hpp"
+
+namespace scc::harness {
+
+namespace {
+
+/// splitmix64 finalizer: the deterministic hash behind the step-cadence
+/// jitter and the cell checksums. Pure function of its argument -- no
+/// stream state to keep consistent across partitions or workers.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct Cell {
+  int rank = 0;        // tile id == cell id (one cell per tile)
+  int partition = 0;
+  std::uint64_t value = 0;   // evolves with each step
+  std::uint64_t halo_acc = 0;  // fold of received halo values
+  int steps_left = 0;
+  int east_neighbor = -1;  // tile across an east partition boundary, or -1
+  int west_neighbor = -1;  // tile across a west partition boundary, or -1
+};
+
+struct Mesh {
+  PdesScenarioSpec spec;
+  noc::Topology topo;
+  mem::HwCostModel hw;
+  sim::PdesEngine* pdes = nullptr;
+  std::vector<Cell> cells;                        // indexed by tile id
+  std::vector<std::unique_ptr<trace::Recorder>> recorders;  // per partition
+
+  explicit Mesh(const PdesScenarioSpec& s)
+      : spec(s), topo(s.tiles_x, s.tiles_y, /*cores_per_tile=*/1) {}
+
+  [[nodiscard]] SimTime hop_transit() const {
+    return hw.mesh_clock().cycles(hw.mesh_cycles_per_hop);
+  }
+
+  /// Content-jittered step cadence: at least one hop transit, at most ~8x
+  /// that, so a lookahead-wide window holds a healthy batch of step events
+  /// per partition without ever being empty.
+  [[nodiscard]] SimTime step_delay(const Cell& cell, int step) const {
+    const std::uint64_t h =
+        mix64(spec.seed ^ (static_cast<std::uint64_t>(cell.rank) << 20) ^
+              static_cast<std::uint64_t>(step));
+    const std::uint64_t cycles =
+        hw.mesh_cycles_per_hop + h % (7ULL * hw.mesh_cycles_per_hop);
+    return hw.mesh_clock().cycles(cycles);
+  }
+
+  void deliver_halo(Cell& target, std::uint64_t value) {
+    target.halo_acc = mix64(target.halo_acc ^ value);
+    trace::Recorder* rec =
+        recorders.empty()
+            ? nullptr
+            : recorders[static_cast<std::size_t>(target.partition)].get();
+    if (rec != nullptr) {
+      rec->instant(target.partition, "pdes", "halo",
+                   pdes->partition(target.partition).now(),
+                   strprintf("cell %d", target.rank));
+    }
+  }
+
+  void step(Cell& cell) {
+    sim::Engine& engine = pdes->partition(cell.partition);
+    cell.value = mix64(cell.value ^ static_cast<std::uint64_t>(
+                                        engine.now().femtoseconds()));
+    // Boundary cells post their value to the facing cell across the slab
+    // boundary. The facing tile is exactly one X hop away, so the transit
+    // equals the lookahead -- the posted timestamp lands exactly on the
+    // window horizon, the tightest legal case of the conservative contract.
+    for (const int neighbor : {cell.east_neighbor, cell.west_neighbor}) {
+      if (neighbor < 0) continue;
+      Cell& target = cells[static_cast<std::size_t>(neighbor)];
+      const SimTime when =
+          engine.now() +
+          hop_transit() * static_cast<std::uint64_t>(
+                              topo.hops(cell.rank, target.rank));
+      const std::uint64_t value = cell.value;
+      Cell* target_ptr = &target;
+      Mesh* mesh = this;
+      pdes->post(cell.partition, target.partition, when,
+                 [mesh, target_ptr, value] {
+                   mesh->deliver_halo(*target_ptr, value);
+                 });
+    }
+    if (--cell.steps_left == 0) return;
+    Cell* self = &cell;
+    Mesh* mesh = this;
+    engine.schedule_call(engine.now() + step_delay(cell, cell.steps_left),
+                         [mesh, self] { mesh->step(*self); });
+  }
+};
+
+}  // namespace
+
+Table PdesScenarioResult::to_table() const {
+  Table table({"partition", "cells", "events", "end_fs", "checksum"});
+  for (const PartitionRow& row : rows) {
+    table.add_row(
+        {strprintf("%d", row.partition), strprintf("%d", row.cells),
+         strprintf("%llu", static_cast<unsigned long long>(row.events)),
+         strprintf("%llu", static_cast<unsigned long long>(
+                               row.end_time.femtoseconds())),
+         strprintf("%016llx",
+                   static_cast<unsigned long long>(row.checksum))});
+  }
+  return table;
+}
+
+PdesScenarioResult run_pdes_mesh(const PdesScenarioSpec& spec) {
+  SCC_EXPECTS(spec.tiles_x >= 1 && spec.tiles_y >= 1);
+  SCC_EXPECTS(spec.partitions >= 1 && spec.partitions <= spec.tiles_x);
+  SCC_EXPECTS(spec.steps >= 1);
+
+  Mesh mesh(spec);
+  sim::PdesConfig config;
+  config.partitions = spec.partitions;
+  config.workers = spec.workers;
+  config.lookahead =
+      mesh.hop_transit() *
+      static_cast<std::uint64_t>(std::max(
+          1, mesh.topo.min_partition_separation_hops(spec.partitions)));
+  sim::PdesEngine pdes(config);
+  mesh.pdes = &pdes;
+
+  if (spec.perturb) {
+    // One derived seed per partition: each engine perturbs its own schedule
+    // from its own stream, before anything is scheduled on it.
+    for (int p = 0; p < spec.partitions; ++p) {
+      pdes.partition(p).enable_perturbation(sim::PerturbConfig{
+          mix64(spec.perturb_seed ^ static_cast<std::uint64_t>(p)),
+          mesh.hw.mesh_clock().cycles(1)});
+    }
+  }
+  if (spec.trace) {
+    for (int p = 0; p < spec.partitions; ++p) {
+      auto recorder = std::make_unique<trace::Recorder>();
+      recorder->begin_run(strprintf("pdes partition %d", p));
+      pdes.partition(p).set_trace(recorder.get());
+      mesh.recorders.push_back(std::move(recorder));
+    }
+  }
+
+  // Build the cells and seed each partition's heap with the first steps.
+  const int tiles = mesh.topo.num_tiles();
+  mesh.cells.resize(static_cast<std::size_t>(tiles));
+  for (int tile = 0; tile < tiles; ++tile) {
+    Cell& cell = mesh.cells[static_cast<std::size_t>(tile)];
+    cell.rank = tile;
+    cell.partition = mesh.topo.partition_of(tile, spec.partitions);
+    cell.value = mix64(spec.seed ^ static_cast<std::uint64_t>(tile));
+    cell.steps_left = spec.steps;
+    const noc::TileCoord at = mesh.topo.coord_of_tile(tile);
+    if (at.x + 1 < spec.tiles_x) {
+      const int east = tile + 1;
+      if (mesh.topo.partition_of(east, spec.partitions) != cell.partition)
+        cell.east_neighbor = east;
+    }
+    if (at.x > 0) {
+      const int west = tile - 1;
+      if (mesh.topo.partition_of(west, spec.partitions) != cell.partition)
+        cell.west_neighbor = west;
+    }
+  }
+  for (Cell& cell : mesh.cells) {
+    Cell* self = &cell;
+    Mesh* m = &mesh;
+    pdes.partition(cell.partition)
+        .schedule_call(mesh.step_delay(cell, 0),
+                       [m, self] { m->step(*self); });
+  }
+
+  pdes.run();
+
+  PdesScenarioResult result;
+  result.pdes = pdes.stats();
+  result.engine = pdes.aggregated_stats();
+  result.events = pdes.events_processed();
+  result.halo_posts = pdes.stats().posts_delivered;
+  result.end_time = pdes.now();
+  result.rows.resize(static_cast<std::size_t>(spec.partitions));
+  result.checksum = mix64(spec.seed);
+  for (int p = 0; p < spec.partitions; ++p) {
+    PdesScenarioResult::PartitionRow& row =
+        result.rows[static_cast<std::size_t>(p)];
+    row.partition = p;
+    row.events = pdes.partition(p).events_processed();
+    row.end_time = pdes.partition(p).now();
+    row.checksum = mix64(static_cast<std::uint64_t>(p));
+  }
+  for (const Cell& cell : mesh.cells) {  // rank order: deterministic fold
+    PdesScenarioResult::PartitionRow& row =
+        result.rows[static_cast<std::size_t>(cell.partition)];
+    ++row.cells;
+    const std::uint64_t folded = mix64(cell.value ^ cell.halo_acc);
+    row.checksum = mix64(row.checksum ^ folded);
+    result.checksum = mix64(result.checksum ^ folded);
+  }
+
+  if (spec.trace) {
+    std::ostringstream os;
+    for (const auto& recorder : mesh.recorders)
+      trace::write_chrome_json(*recorder, os);
+    result.trace_json = os.str();
+  }
+
+  metrics::MetricsRegistry& metrics = result.metrics;
+  metrics.set_label(strprintf("pdes_mesh %dx%d p=%d", spec.tiles_x,
+                              spec.tiles_y, spec.partitions));
+  metrics.set("pdes/events", result.events, metrics::Unit::kCount,
+              /*invariant=*/true);
+  metrics.set("pdes/halo_posts", result.halo_posts, metrics::Unit::kCount,
+              /*invariant=*/true);
+  metrics.set("pdes/windows", result.pdes.windows, metrics::Unit::kCount,
+              /*invariant=*/true);
+  metrics.set("pdes/max_window_events", result.pdes.max_window_events,
+              metrics::Unit::kCount, /*invariant=*/true);
+  metrics.set("pdes/checksum", result.checksum, metrics::Unit::kCount,
+              /*invariant=*/true);
+  metrics.set_time("pdes/end_time", result.end_time, /*invariant=*/true);
+  for (const PdesScenarioResult::PartitionRow& row : result.rows) {
+    const std::string prefix = strprintf("pdes/partition/%d/", row.partition);
+    metrics.set(prefix + "events", row.events, metrics::Unit::kCount,
+                /*invariant=*/true);
+    metrics.set(prefix + "checksum", row.checksum, metrics::Unit::kCount,
+                /*invariant=*/true);
+    metrics.set_time(prefix + "end_time", row.end_time, /*invariant=*/true);
+  }
+  return result;
+}
+
+}  // namespace scc::harness

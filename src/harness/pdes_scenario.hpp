@@ -1,0 +1,84 @@
+// Big-mesh halo-exchange workload for the conservative-PDES drain.
+//
+// A synthetic stencil on an SCC-style mesh, built to exercise
+// sim::PdesEngine at scales where intra-run parallelism pays off: one cell
+// per tile, each stepping on a content-jittered mesh-cycle cadence, with
+// cells on a partition boundary posting their value to the facing cell
+// across the boundary every step. The mesh is split into
+// noc::Topology::partition_of column slabs; the cross-partition delay is
+// the cost model's one-hop transit, which equals machine::pdes_lookahead's
+// window -- so every window is full of local step events while every halo
+// lands exactly on the conservative contract's boundary (the hardest legal
+// case for the merge invariant).
+//
+// Partition-state disjointness (the PdesEngine contract) holds by
+// construction: a cell is owned by the partition of its tile, step events
+// touch only their own cell, and halos cross the boundary exclusively
+// through PdesEngine::post.
+//
+// Every output is deterministic -- bit-identical for any worker count --
+// and the result carries all four artifact families the identity tests
+// diff: a per-partition Table (CSV/JSON), a chrome trace (per-partition
+// recorders exported in partition order), and an scc-metrics-v1 snapshot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/time.hpp"
+#include "metrics/registry.hpp"
+#include "sim/pdes.hpp"
+
+namespace scc::harness {
+
+struct PdesScenarioSpec {
+  int tiles_x = 32;
+  int tiles_y = 16;
+  /// Column slabs / event-loop partitions. Must be in [1, tiles_x].
+  int partitions = 8;
+  /// Host threads draining windows (forwarded to PdesConfig::workers).
+  int workers = 1;
+  /// Compute steps per cell.
+  int steps = 32;
+  /// Seeds the per-cell step-cadence jitter (pure hashing, no RNG state).
+  std::uint64_t seed = 0x5cc0ffeeULL;
+  /// Attach per-partition trace recorders and export a chrome trace.
+  bool trace = false;
+  /// Enable schedule perturbation on every partition engine, each from its
+  /// own stream derived from perturb_seed (sim/pdes.hpp, "Perturbation
+  /// composes per partition"). Still deterministic for any worker count.
+  bool perturb = false;
+  std::uint64_t perturb_seed = 0;
+};
+
+struct PdesScenarioResult {
+  struct PartitionRow {
+    int partition = 0;
+    int cells = 0;
+    std::uint64_t events = 0;   // partition engine's events_processed()
+    SimTime end_time;           // partition clock at drain end
+    std::uint64_t checksum = 0; // fold of the partition's cells in rank order
+  };
+
+  std::uint64_t events = 0;      // sum across partitions
+  std::uint64_t halo_posts = 0;  // cross-partition messages delivered
+  SimTime end_time;              // max partition clock
+  std::uint64_t checksum = 0;    // fold of all cells in rank order
+  sim::PdesStats pdes;
+  sim::EngineStats engine;       // aggregated per-partition stats
+  std::vector<PartitionRow> rows;
+  /// Chrome trace JSON, partitions concatenated in partition order; empty
+  /// when the spec did not ask for tracing.
+  std::string trace_json;
+  metrics::MetricsRegistry metrics;
+
+  /// Per-partition result table (the CSV/JSON artifact).
+  [[nodiscard]] Table to_table() const;
+};
+
+/// Runs the halo-exchange mesh under the spec's partition/worker counts.
+[[nodiscard]] PdesScenarioResult run_pdes_mesh(const PdesScenarioSpec& spec);
+
+}  // namespace scc::harness

@@ -1,5 +1,7 @@
 #include "machine/scc_machine.hpp"
 
+#include <algorithm>
+
 #include "common/string_util.hpp"
 
 namespace scc::machine {
@@ -67,6 +69,13 @@ void launch_spmd(SccMachine& machine,
   for (int rank = 0; rank < machine.num_cores(); ++rank) {
     machine.launch(rank, factory(machine.core(rank)));
   }
+}
+
+SimTime pdes_lookahead(const mem::LatencyCalculator& latency,
+                       const noc::Topology& topology, int partitions) {
+  const int hops =
+      std::max(1, topology.min_partition_separation_hops(partitions));
+  return latency.min_hop_transit() * static_cast<std::uint64_t>(hops);
 }
 
 }  // namespace scc::machine

@@ -113,4 +113,13 @@ class SccMachine {
 void launch_spmd(SccMachine& machine,
                  const std::function<sim::Task<>(CoreApi&)>& factory);
 
+/// Conservative-PDES lookahead for a mesh partitioned into
+/// Topology::partition_of column slabs: the minimum virtual latency of any
+/// cross-partition interaction, i.e. (minimum hops between slabs) x (one
+/// healthy mesh hop's transit). With a single partition there is no
+/// boundary; one hop is returned so PdesConfig::lookahead stays positive.
+[[nodiscard]] SimTime pdes_lookahead(const mem::LatencyCalculator& latency,
+                                     const noc::Topology& topology,
+                                     int partitions);
+
 }  // namespace scc::machine

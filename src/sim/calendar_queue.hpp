@@ -1,0 +1,151 @@
+// CalendarQueue: an O(1)-amortized priority queue over numeric keys
+// (Brown's calendar queue), evaluated against the engine's binary MoveHeap.
+//
+// The classic discrete-event-simulation structure: buckets are "days" of a
+// fixed width; an event lands in bucket (key / width) % num_buckets, and
+// the dequeue cursor walks days in order, so with a well-tuned width both
+// enqueue and dequeue touch O(1) elements. The width and bucket count are
+// retuned on resize from the live event population (mean inter-key gap),
+// which is what keeps the structure O(1) across workload phases.
+//
+// Ordering contract: Less is a TOTAL order consistent with the key
+// (Less(a, b) implies key(a) <= key(b)); equal keys land in the same
+// bucket, so ties resolve by Less exactly as they would in a binary heap
+// -- pop order is identical to MoveHeap's for the same push/pop schedule,
+// which is what the differential tests pin down.
+//
+// Status: benchmarked against MoveHeap by bench/selfperf (queue_moveheap /
+// queue_calendar rows, both gated). On the engine's workloads -- small
+// live frontiers with heavy same-day churn -- the calendar's cursor scans
+// and retunes do not beat the heap's cache-resident sift (<~128 live
+// events), so sim::Engine keeps MoveHeap; the structure and its gate stay
+// as the measured alternative for bigger-frontier machines (DESIGN.md
+// §14).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace scc::sim {
+
+template <typename T, typename Less, typename KeyFn>
+class CalendarQueue {
+ public:
+  explicit CalendarQueue(Less less = {}, KeyFn key = {})
+      : less_(std::move(less)), key_(std::move(key)) {
+    buckets_.resize(kMinBuckets);
+  }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  void push(T value) {
+    const std::uint64_t day = key_(value) / width_;
+    insert_into(bucket_of(day), std::move(value));
+    if (day < cursor_day_) cursor_day_ = day;  // never skip a past event
+    ++size_;
+    if (size_ > 2 * buckets_.size()) rebuild(buckets_.size() * 2);
+  }
+
+  /// The minimum element under Less. Non-const: may advance the cursor
+  /// (amortized bookkeeping), never changes the contents.
+  [[nodiscard]] const T& min() {
+    SCC_EXPECTS(size_ > 0);
+    return buckets_[locate_min()].back();
+  }
+
+  T pop_min() {
+    SCC_EXPECTS(size_ > 0);
+    std::vector<T>& bucket = buckets_[locate_min()];
+    T out = std::move(bucket.back());
+    bucket.pop_back();
+    --size_;
+    if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 2)
+      rebuild(buckets_.size() / 2);
+    return out;
+  }
+
+  void reserve(std::size_t n) {
+    for (auto& bucket : buckets_) bucket.reserve(n / buckets_.size() + 1);
+  }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 8;
+
+  [[nodiscard]] std::size_t bucket_of(std::uint64_t day) const {
+    return static_cast<std::size_t>(day % buckets_.size());
+  }
+
+  /// Buckets are sorted descending by Less (minimum at the back), so the
+  /// hot pop is a pop_back and insertion is an upper-bound shift over the
+  /// handful of same-bucket events.
+  void insert_into(std::size_t idx, T value) {
+    std::vector<T>& bucket = buckets_[idx];
+    const auto at = std::upper_bound(
+        bucket.begin(), bucket.end(), value,
+        [this](const T& a, const T& b) { return less_(b, a); });
+    bucket.insert(at, std::move(value));
+  }
+
+  /// Index of the bucket whose back element is the global minimum, walking
+  /// days from the cursor. An event's day must match the scanned day --
+  /// buckets also hold events of later "years" (day + k * num_buckets).
+  /// If a whole year passes without a hit the population is sparse:
+  /// fall back to a direct scan and jump the cursor there.
+  [[nodiscard]] std::size_t locate_min() {
+    for (std::size_t step = 0; step < buckets_.size(); ++step) {
+      const std::uint64_t day = cursor_day_ + step;
+      const std::vector<T>& bucket = buckets_[bucket_of(day)];
+      if (!bucket.empty() && key_(bucket.back()) / width_ == day) {
+        cursor_day_ = day;
+        return bucket_of(day);
+      }
+    }
+    std::size_t best = buckets_.size();
+    for (std::size_t idx = 0; idx < buckets_.size(); ++idx) {
+      if (buckets_[idx].empty()) continue;
+      if (best == buckets_.size() ||
+          less_(buckets_[idx].back(), buckets_[best].back()))
+        best = idx;
+    }
+    SCC_ASSERT(best < buckets_.size());
+    cursor_day_ = key_(buckets_[best].back()) / width_;
+    return best;
+  }
+
+  /// Re-bucket the whole population into `count` buckets with a width
+  /// retuned to the live key span (mean gap, clamped to >= 1): the classic
+  /// calendar-queue resize that keeps ~O(1) events per day.
+  void rebuild(std::size_t count) {
+    std::vector<std::vector<T>> old = std::move(buckets_);
+    buckets_.clear();  // resize (not assign): T may be move-only
+    buckets_.resize(std::max(count, kMinBuckets));
+    std::uint64_t lo = ~0ULL, hi = 0;
+    for (const auto& bucket : old) {
+      for (const T& value : bucket) {
+        lo = std::min(lo, key_(value));
+        hi = std::max(hi, key_(value));
+      }
+    }
+    width_ = size_ > 1 ? std::max<std::uint64_t>((hi - lo) / size_, 1) : 1;
+    cursor_day_ = size_ > 0 ? lo / width_ : 0;
+    for (auto& bucket : old) {
+      for (T& value : bucket)
+        insert_into(bucket_of(key_(value) / width_), std::move(value));
+    }
+  }
+
+  std::vector<std::vector<T>> buckets_;
+  std::uint64_t width_ = 1;
+  std::uint64_t cursor_day_ = 0;
+  std::size_t size_ = 0;
+  Less less_;
+  KeyFn key_;
+};
+
+}  // namespace scc::sim

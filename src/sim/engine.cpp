@@ -18,8 +18,15 @@ void Engine::push_event(SimTime when, std::coroutine_handle<> h,
   if (perturb_) {
     tie = perturb_rng_();
     if (perturb_->max_delay > SimTime::zero()) {
-      const SimTime delay{
+      const SimTime drawn{
           perturb_rng_.below(perturb_->max_delay.femtoseconds() + 1)};
+      // Saturate at SimTime::max(): enable_perturbation only bounds the
+      // per-event delay, not when + delay, so an event scheduled near the
+      // end of representable time must clamp instead of overflowing the
+      // SimTime arithmetic contract. The RNG draw happens either way, so
+      // clamping never shifts the seed stream of later events.
+      const SimTime headroom = SimTime::max() - when;
+      const SimTime delay = drawn > headroom ? headroom : drawn;
       when += delay;
       if (delay > SimTime::zero()) {
         ++stats_.perturb_delays;
@@ -68,23 +75,33 @@ void Engine::spawn(Task<> task, std::string name) {
   push_event(now_, roots_.back().task.native_handle(), {});
 }
 
+void Engine::dispatch(Event ev) {
+  SCC_ASSERT(ev.when >= now_);
+  now_ = ev.when;
+  ++events_processed_;
+  if (ev.handle) {
+    ev.handle.resume();
+  } else {
+    ev.call();
+  }
+}
+
 void Engine::drain() {
   SCC_EXPECTS(!running_);
-  running_ = true;
+  const RunningGuard guard{&running_};
   while (!queue_.empty()) {
     // pop_min moves the event (and its callable) out of the heap: the hot
     // loop neither copies events nor touches the allocator.
-    Event ev = queue_.pop_min();
-    SCC_ASSERT(ev.when >= now_);
-    now_ = ev.when;
-    ++events_processed_;
-    if (ev.handle) {
-      ev.handle.resume();
-    } else {
-      ev.call();
-    }
+    dispatch(queue_.pop_min());
   }
-  running_ = false;
+}
+
+void Engine::drain_until(SimTime horizon) {
+  SCC_EXPECTS(!running_);
+  const RunningGuard guard{&running_};
+  while (!queue_.empty() && queue_.min().when < horizon) {
+    dispatch(queue_.pop_min());
+  }
 }
 
 void Engine::run() {
@@ -119,18 +136,33 @@ void Engine::run() {
     msg += stuck;
     throw std::runtime_error(msg);
   }
-  for (auto& root : roots_) root.task.rethrow_if_failed();
+  // Capture the first failure, then clear roots_ BEFORE rethrowing: the
+  // exception_ptr keeps the exception alive past the frame destruction, and
+  // a throwing run() must leave the engine re-runnable, not holding dead
+  // coroutine frames.
+  std::exception_ptr first;
+  for (auto& root : roots_)
+    if (!first) first = root.task.failure();
   roots_.clear();
+  if (first) std::rethrow_exception(first);
 }
 
 bool Engine::run_detect_deadlock() {
   drain();
   bool all_done = true;
-  for (auto& root : roots_)
-    if (!root.task.done()) all_done = false;
-  if (all_done)
-    for (auto& root : roots_) root.task.rethrow_if_failed();
+  std::exception_ptr first;
+  for (auto& root : roots_) {
+    if (!root.task.done()) {
+      all_done = false;
+      continue;
+    }
+    // Tasks that *did* complete may have failed; a stuck sibling must not
+    // swallow that (deadlock + exception is a double fault, and the
+    // exception names the actual bug).
+    if (!first) first = root.task.failure();
+  }
   roots_.clear();
+  if (first) std::rethrow_exception(first);
   return all_done;
 }
 

@@ -137,8 +137,35 @@ class Engine {
   void run();
 
   /// Like run() but returns false instead of throwing when root tasks are
-  /// deadlocked (used by tests that *expect* deadlock).
+  /// deadlocked (used by tests that *expect* deadlock). A root task that
+  /// completed *with an exception* is a failure, not a deadlock: the first
+  /// such exception (in spawn order) is rethrown even when other roots are
+  /// stuck -- deadlock plus exception is a double fault, and the exception
+  /// is the more specific diagnosis.
   [[nodiscard]] bool run_detect_deadlock();
+
+  /// Unbounded drain without root-task bookkeeping: processes every queued
+  /// event (run() is drain() plus deadlock diagnostics and root-exception
+  /// rethrow). The PDES coordinator uses it for the saturated-horizon
+  /// window, where the strict-< bound of drain_until would strand events
+  /// clamped exactly at SimTime::max().
+  void drain();
+
+  /// Bounded drain for partitioned (conservative-PDES) execution: processes
+  /// every event with timestamp strictly before `horizon`, including events
+  /// those events schedule inside the window, then returns with later events
+  /// still queued. now() is left at the last processed event (never advanced
+  /// to the horizon). Serial drains via run() are the special case
+  /// horizon = infinity; see sim::PdesEngine for the window protocol.
+  void drain_until(SimTime horizon);
+
+  /// Timestamp of the earliest pending event, or nullopt when the queue is
+  /// empty. The PDES coordinator min-reduces this across partitions to pick
+  /// each window's base time.
+  [[nodiscard]] std::optional<SimTime> next_event_time() const {
+    if (queue_.empty()) return std::nullopt;
+    return queue_.min().when;
+  }
 
   [[nodiscard]] std::uint64_t events_processed() const {
     return events_processed_;
@@ -168,7 +195,18 @@ class Engine {
     std::string name;
   };
 
-  void drain();
+  /// Resets running_ when a drain exits, including by exception: a throwing
+  /// event handler must not latch the engine into a state where every later
+  /// drain()/enable_perturbation() dies on its !running_ precondition.
+  struct RunningGuard {
+    bool* flag;
+    explicit RunningGuard(bool* f) : flag(f) { *flag = true; }
+    ~RunningGuard() { *flag = false; }
+    RunningGuard(const RunningGuard&) = delete;
+    RunningGuard& operator=(const RunningGuard&) = delete;
+  };
+
+  void dispatch(Event ev);
   void push_event(SimTime when, std::coroutine_handle<> h, SmallCallable fn);
 
   MoveHeap<Event, std::greater<>> queue_;

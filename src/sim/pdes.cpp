@@ -1,0 +1,140 @@
+#include "sim/pdes.hpp"
+
+#include <algorithm>
+
+namespace scc::sim {
+
+namespace {
+
+/// t + d without overflowing SimTime's checked arithmetic; saturates at
+/// SimTime::max() (events clamped there are handled by the full drain).
+SimTime saturating_add(SimTime t, SimTime d) {
+  const SimTime headroom = SimTime::max() - t;
+  return d > headroom ? SimTime::max() : t + d;
+}
+
+}  // namespace
+
+PdesEngine::PdesEngine(PdesConfig config)
+    : config_(config),
+      outboxes_(static_cast<std::size_t>(config.partitions) *
+                static_cast<std::size_t>(config.partitions)),
+      pool_(std::min(std::max(config.workers, 1), config.partitions)) {
+  SCC_EXPECTS(config.partitions >= 1);
+  SCC_EXPECTS(config.workers >= 1);
+  SCC_EXPECTS(config.lookahead > SimTime::zero());
+  engines_.reserve(static_cast<std::size_t>(config.partitions));
+  for (int p = 0; p < config.partitions; ++p)
+    engines_.push_back(std::make_unique<Engine>());
+}
+
+void PdesEngine::post(int source, int target, SimTime when, SmallCallable fn) {
+  SCC_EXPECTS(source >= 0 && source < partitions());
+  SCC_EXPECTS(target >= 0 && target < partitions());
+  SCC_EXPECTS(static_cast<bool>(fn));
+  if (source == target) {
+    // Local: no conservatism needed, the partition's own heap orders it.
+    engines_[static_cast<std::size_t>(source)]->schedule_call(when,
+                                                              std::move(fn));
+    return;
+  }
+  outboxes_[static_cast<std::size_t>(source) *
+                static_cast<std::size_t>(partitions()) +
+            static_cast<std::size_t>(target)]
+      .push_back(Pending{when, std::move(fn)});
+}
+
+void PdesEngine::flush_outboxes(SimTime floor) {
+  // Fixed (target, source, FIFO) order: the target engine's sequence
+  // counters advance identically for every worker count -- this is the
+  // deterministic merge that keeps the whole drain bit-identical to serial.
+  for (int target = 0; target < partitions(); ++target) {
+    Engine& engine = *engines_[static_cast<std::size_t>(target)];
+    for (int source = 0; source < partitions(); ++source) {
+      std::vector<Pending>& box =
+          outboxes_[static_cast<std::size_t>(source) *
+                        static_cast<std::size_t>(partitions()) +
+                    static_cast<std::size_t>(target)];
+      for (Pending& pending : box) {
+        // The conservative contract: nothing posted during a window may
+        // land before the window's horizon. A violation means the posting
+        // code charged less than the configured lookahead for a
+        // cross-partition interaction -- a correctness bug, not a timing
+        // detail, so it aborts.
+        SCC_EXPECTS(pending.when >= floor);
+        engine.schedule_call(pending.when, std::move(pending.fn));
+        ++stats_.posts_delivered;
+      }
+      box.clear();
+    }
+  }
+}
+
+void PdesEngine::run() {
+  const auto num = static_cast<std::size_t>(partitions());
+  for (;;) {
+    std::optional<SimTime> t_min;
+    for (auto& engine : engines_) {
+      const std::optional<SimTime> t = engine->next_event_time();
+      if (t && (!t_min || *t < *t_min)) t_min = *t;
+    }
+    if (!t_min) {
+      // Heaps are dry. Posts buffered outside a window (setup code calling
+      // post() before run()) may still be pending; merge them with no
+      // conservative floor -- nothing is executing -- and keep going.
+      bool any = false;
+      for (const auto& box : outboxes_) any = any || !box.empty();
+      if (!any) break;
+      flush_outboxes(SimTime::zero());
+      continue;
+    }
+
+    const SimTime horizon = saturating_add(*t_min, config_.lookahead);
+    const std::uint64_t before = events_processed();
+    ++stats_.windows;
+    if (horizon == SimTime::max()) {
+      // Saturated horizon: drain_until's strict < would strand events
+      // clamped exactly at SimTime::max(); the unbounded drain takes them.
+      pool_.run_round(num, [&](std::size_t p) { engines_[p]->drain(); });
+    } else {
+      pool_.run_round(
+          num, [&](std::size_t p) { engines_[p]->drain_until(horizon); });
+    }
+    stats_.max_window_events =
+        std::max(stats_.max_window_events, events_processed() - before);
+    flush_outboxes(horizon);
+  }
+
+  // Root bookkeeping in partition order: deadlock diagnostics and the
+  // first root failure surface exactly as a serial engine would surface
+  // them, partition by partition.
+  for (auto& engine : engines_) engine->run();
+}
+
+std::uint64_t PdesEngine::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& engine : engines_) total += engine->events_processed();
+  return total;
+}
+
+SimTime PdesEngine::now() const {
+  SimTime latest = SimTime::zero();
+  for (const auto& engine : engines_)
+    latest = std::max(latest, engine->now());
+  return latest;
+}
+
+EngineStats PdesEngine::aggregated_stats() const {
+  EngineStats total;
+  for (const auto& engine : engines_) {
+    const EngineStats& s = engine->stats();
+    total.parks += s.parks;
+    total.notifies += s.notifies;
+    total.waiters_woken += s.waiters_woken;
+    total.perturb_delays += s.perturb_delays;
+    total.perturb_delay_total += s.perturb_delay_total;
+  }
+  return total;
+}
+
+}  // namespace scc::sim

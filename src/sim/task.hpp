@@ -12,11 +12,13 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "sim/frame_arena.hpp"
 
 namespace scc::sim {
 
@@ -26,6 +28,14 @@ class Task;
 namespace detail {
 
 struct PromiseBase {
+  // Frame allocation goes through the per-thread arena: a promise-level
+  // operator new/delete customizes the whole coroutine frame, and the
+  // simulator churns through identical frame sizes by the hundred thousand.
+  static void* operator new(std::size_t bytes) { return frame_alloc(bytes); }
+  static void operator delete(void* block, std::size_t bytes) noexcept {
+    frame_free(block, bytes);
+  }
+
   std::coroutine_handle<> continuation;  // resumed when this task finishes
   std::exception_ptr exception;
 
@@ -183,6 +193,13 @@ class [[nodiscard]] Task<void> {
     SCC_EXPECTS(done());
     if (handle_.promise().exception)
       std::rethrow_exception(handle_.promise().exception);
+  }
+
+  /// The captured exception, or nullptr if none (or the task never ran).
+  /// Non-throwing counterpart of rethrow_if_failed() for callers that must
+  /// scan several roots before deciding which failure to surface.
+  [[nodiscard]] std::exception_ptr failure() const {
+    return handle_ ? handle_.promise().exception : nullptr;
   }
 
  private:

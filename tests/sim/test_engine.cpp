@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "sim/wait_queue.hpp"
@@ -230,6 +231,108 @@ TEST(Engine, PerturbedEqualTimeOrderIsSeedReproducible) {
     if (first != fifo) any_permuted = true;
   }
   EXPECT_TRUE(any_permuted);
+}
+
+TEST(Engine, ThrowingCallableLeavesEngineRunnable) {
+  // Regression: drain() used to set running_ = true and only reset it on
+  // the normal exit path, so a throwing event handler latched the engine
+  // into "running" forever and every later run() died on its !running_
+  // precondition. The scope guard must reset the flag on the exception
+  // path too.
+  Engine engine;
+  engine.schedule_call(SimTime{10}, [] {
+    throw std::runtime_error("handler boom");
+  });
+  EXPECT_THROW(engine.run(), std::runtime_error);
+  bool ran_after = false;
+  engine.schedule_call(engine.now() + SimTime{5}, [&] { ran_after = true; });
+  engine.run();  // must not abort on a stale running_ flag
+  EXPECT_TRUE(ran_after);
+}
+
+Task<> throws_after(Engine* engine, SimTime delay, const char* what) {
+  co_await engine->sleep_for(delay);
+  throw std::runtime_error(what);
+}
+
+TEST(Engine, RunDetectDeadlockSurfacesRootExceptionOverDeadlock) {
+  // Regression: a root task completing *with an exception* while another
+  // root is stuck used to be swallowed -- run_detect_deadlock() saw "some
+  // root unfinished", returned false, and the exception vanished with the
+  // cleared roots. The exception is the more specific diagnosis of the
+  // double fault and must be rethrown.
+  Engine engine;
+  WaitQueue queue(engine);
+  engine.spawn(throws_after(&engine, SimTime{5}, "root boom"), "thrower");
+  engine.spawn(waits_forever(&queue), "stuck");
+  try {
+    (void)engine.run_detect_deadlock();
+    FAIL() << "expected the root exception to surface";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "root boom");
+  }
+}
+
+TEST(Engine, RunDetectDeadlockRethrowsFirstRootExceptionInSpawnOrder) {
+  Engine engine;
+  engine.spawn(throws_after(&engine, SimTime{9}, "second spawned"), "late");
+  engine.spawn(throws_after(&engine, SimTime{3}, "first spawned"), "early");
+  try {
+    (void)engine.run_detect_deadlock();
+    FAIL() << "expected a root exception";
+  } catch (const std::runtime_error& e) {
+    // Spawn order, not completion order: "late" was spawned first.
+    EXPECT_STREQ(e.what(), "second spawned");
+  }
+}
+
+TEST(Engine, PerturbationDelayClampsNearTimeMax) {
+  // Regression: the injected perturbation delay was added with SimTime's
+  // checked +=, so an event legally scheduled near SimTime::max() could
+  // abort on overflow purely because the testing mode drew a large delay.
+  // The delay must clamp to the available headroom instead.
+  Engine engine;
+  engine.enable_perturbation(PerturbConfig{123, SimTime::from_ns(1000)});
+  bool fired = false;
+  engine.schedule_call(SimTime::max() - SimTime{5}, [&] { fired = true; });
+  engine.run();
+  EXPECT_TRUE(fired);
+  EXPECT_GE(engine.now(), SimTime::max() - SimTime{5});
+}
+
+TEST(Engine, PerturbationClampDoesNotShiftTheDelayStream) {
+  // The clamp must happen after the RNG draw, so an earlier clamped event
+  // does not change which delays later events receive (seed
+  // reproducibility of the whole trace, clamped or not). Both runs push a
+  // lead event then a probe; only the lead's position differs, so the
+  // probe's injected delay must be identical.
+  const auto probe_delay = [](SimTime lead_when) {
+    Engine engine;
+    engine.enable_perturbation(PerturbConfig{99, SimTime::from_ns(10)});
+    engine.schedule_call(lead_when, [] {});
+    SimTime fired_at;
+    engine.schedule_call(SimTime{1000}, [&engine, &fired_at] {
+      fired_at = engine.now();
+    });
+    engine.run();
+    return fired_at.femtoseconds() - 1000;
+  };
+  EXPECT_EQ(probe_delay(SimTime::max() - SimTime{1}),  // clamped lead
+            probe_delay(SimTime{2}));                  // ordinary lead
+}
+
+TEST(EngineDeathTest, UnperturbedTimeOverflowStillAborts) {
+  // The clamp is perturbation-specific: ordinary virtual-time arithmetic
+  // keeps its checked-overflow contract.
+  EXPECT_DEATH(
+      {
+        Engine engine;
+        engine.schedule_call(SimTime{1}, [&engine] {
+          (void)engine.sleep_for(SimTime::max());  // now() + max overflows
+        });
+        engine.run();
+      },
+      "invariant");
 }
 
 TEST(Engine, DeterministicAcrossRuns) {

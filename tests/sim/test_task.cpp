@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <coroutine>
+#include <cstdint>
 #include <stdexcept>
 
 #include "sim/engine.hpp"
+#include "sim/frame_arena.hpp"
 
 // NOTE: no lambda coroutines here -- a capturing lambda's closure dies at
 // the end of the spawning statement while the frame lives on (the classic
@@ -48,6 +51,15 @@ Task<> catch_logic_error(bool* caught) {
 }
 
 Task<> store_deep(int depth, int* out) { *out = co_await deep_chain(depth); }
+
+Task<int> big_frame(int v) {
+  std::uint64_t words[1024] = {};  // 8 KB of locals forced into the frame
+  words[7] = static_cast<std::uint64_t>(v);
+  co_await std::suspend_never{};
+  co_return static_cast<int>(words[7]);
+}
+
+Task<> store_big(int v, int* out) { *out = co_await big_frame(v); }
 
 TEST(Task, LazyUntilAwaited) {
   bool ran = false;
@@ -123,6 +135,47 @@ TEST(Task, MoveAssignReplacesAndDestroysOld) {
   a = std::move(b);
   EXPECT_TRUE(a.valid());
   EXPECT_FALSE(b.valid());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(Task, FrameArenaReusesFramesInSteadyState) {
+  // Coroutine frames allocate through the per-thread frame arena
+  // (PromiseBase::operator new). After a warm-up task has populated the
+  // free lists, same-shaped tasks must be served from them -- the steady
+  // state of a long simulation allocates no frame memory.
+  {
+    // Warm-up: create and destroy one frame of each shape used below.
+    Engine engine;
+    int sink = 0;
+    engine.spawn(store_add(1, 2, &sink), "warmup");
+    engine.run();
+  }
+  const std::uint64_t allocs_before = frame_arena_stats().allocs;
+  const std::uint64_t reuses_before = frame_arena_stats().reuses;
+  constexpr int kRuns = 50;
+  for (int i = 0; i < kRuns; ++i) {
+    Engine engine;
+    int sink = 0;
+    engine.spawn(store_add(i, i, &sink), "steady");
+    engine.run();
+    EXPECT_EQ(sink, 2 * i);
+  }
+  const std::uint64_t allocs = frame_arena_stats().allocs - allocs_before;
+  const std::uint64_t reuses = frame_arena_stats().reuses - reuses_before;
+  EXPECT_GT(allocs, 0u);
+  // Every allocation after warm-up hits a free list (all shapes repeat).
+  EXPECT_EQ(reuses, allocs);
+}
+
+TEST(Task, FrameArenaOversizeFramesFallBackToHeap) {
+  // A frame beyond the arena's largest class must transparently take the
+  // plain operator new path (and come back alive).
+  const std::uint64_t oversize_before = frame_arena_stats().oversize;
+  Engine engine;
+  int result = 0;
+  engine.spawn(store_big(41, &result), "big");
+  engine.run();
+  EXPECT_EQ(result, 41);
+  EXPECT_GT(frame_arena_stats().oversize, oversize_before);
 }
 
 }  // namespace
