@@ -33,6 +33,14 @@
 //                       RCKMPI and MPB keep their own schedule, so the
 //                       figure compares the override against them. Errors
 //                       out for collectives without algorithm variants.
+//   --hist           -- per variant, aggregate every measured repetition of
+//                       every swept point into a metrics::Histogram and add
+//                       a "histograms" block (count/min/mean/p50/p90/p99/
+//                       p999/max, microseconds) to the scc-bench-v1 JSON.
+//                       Observational: row bytes are unchanged, and the
+//                       block is byte-identical for any --jobs value.
+//                       bench/compare gates it two-sided when the baseline
+//                       carries one.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -58,6 +66,7 @@
 #include "harness/runner.hpp"
 #include "metrics/blame.hpp"
 #include "metrics/collect.hpp"
+#include "metrics/histogram.hpp"
 #include "metrics/registry.hpp"
 #include "trace/recorder.hpp"
 
@@ -107,6 +116,7 @@ inline double env_double(const char* name, double fallback) {
 struct BenchOptions {
   std::string metrics_path;  // empty: metrics collection off
   bool blame = false;
+  bool hist = false;  // --hist: per-variant latency histograms in the JSON
   int jobs = 0;  // 0: exec::default_jobs() (hardware concurrency)
   std::optional<coll::Algo> algo;  // --algo: unset = paper algorithm
 };
@@ -126,6 +136,30 @@ inline metrics::MetricsRegistry& merged_metrics() {
 inline std::map<std::string, std::string>& blame_reports() {
   static std::map<std::string, std::string> instance;
   return instance;
+}
+
+/// Per-variant tail-latency histograms for --hist (every measured
+/// repetition of every swept point; std::map keeps the JSON block in sorted
+/// variant order -- one deterministic byte stream).
+inline std::map<std::string, metrics::Histogram>& histograms() {
+  static std::map<std::string, metrics::Histogram> instance;
+  return instance;
+}
+
+/// The "histograms" top-level member for Table::write_json, or "" when
+/// --hist is off (which keeps the document bytes exactly historical).
+inline std::string histogram_members() {
+  if (histograms().empty()) return {};
+  std::ostringstream ss;
+  ss << "\"histograms\": {";
+  bool first = true;
+  for (auto& [name, hist] : histograms()) {
+    ss << (first ? "" : ", ") << '"' << name << "\": ";
+    hist.write_json_us(ss);
+    first = false;
+  }
+  ss << '}';
+  return ss.str();
 }
 
 /// Strict --jobs value parse shared by the bench CLIs: one positive
@@ -168,6 +202,10 @@ inline void parse_instrumentation_flags(int& argc, char** argv) {
     }
     if (arg == "--blame") {
       options().blame = true;
+      continue;
+    }
+    if (arg == "--hist") {
+      options().hist = true;
       continue;
     }
     if (arg.rfind("--jobs=", 0) == 0) {
@@ -326,6 +364,13 @@ inline void run_point(benchmark::State& state, harness::Collective coll,
     }
     state.SetIterationTime(result.mean_latency.seconds());
     collector().add(variant, elements, result.mean_latency.us());
+    if (options().hist) {
+      // Merged here, in registration order on the serial benchmark pass, so
+      // the aggregate is identical no matter how --jobs precomputed.
+      metrics::Histogram& h =
+          histograms()[std::string(harness::variant_name(variant))];
+      for (const SimTime s : result.latencies) h.record_time(s);
+    }
     if (result.metrics) {
       merged_metrics().absorb(
           *result.metrics,
@@ -384,7 +429,7 @@ inline void write_outputs(const char* figure, const Table& table) {
   const std::string csv = std::string("bench_results/") + figure + ".csv";
   table.write_csv_file(csv);
   const std::string json = std::string("bench_results/") + figure + ".json";
-  table.write_json_file(json, figure);
+  table.write_json_file(json, figure, histogram_members());
   std::cout << "\nseries written to " << csv << " and " << json << '\n';
   if (!options().metrics_path.empty()) {
     merged_metrics().set_label(figure);

@@ -11,6 +11,7 @@
 //   perturb_soak --collective=allreduce --delay-fs=2000000 --verbose
 //   perturb_soak --rounds=1 --master-seed=7 --trace=replay.json
 //   perturb_soak --rounds=1 --metrics=soak_metrics.json
+//   perturb_soak --hist=soak_hist.json            # tail-latency quantiles
 //   perturb_soak --collective=allgather --algo=bruck   # pin one algorithm
 //   perturb_soak --faults='straggler:3x2'              # pin a fault spec
 //
@@ -38,13 +39,18 @@
 // recording and report the drop count. --metrics=<path> writes the metrics
 // snapshot of the last round's reference baseline (the run every perturbed
 // replay was diffed against) as scc-metrics-v1 JSON; the seed-invariance
-// diff of snapshots itself runs on every round regardless.
+// diff of snapshots itself runs on every round regardless. --hist=<path>
+// writes per-stack tail-latency histograms (p50/p90/p99/p999) merged over
+// every completed simulation of the whole soak as "scc-hist-v1" JSON --
+// O(1) memory however long the soak, byte-identical for any --jobs.
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
 #include <iterator>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/rng.hpp"
@@ -144,6 +150,7 @@ int main(int argc, char** argv) {
     const bool verbose = flags.get_bool("verbose", false);
     const std::string trace_path = flags.get("trace", "");
     const std::string metrics_path = flags.get("metrics", "");
+    const std::string hist_path = flags.get("hist", "");
     // 0 = auto (exec::default_jobs()); an explicit value must be >= 1.
     // Rounds stay sequential (round R's report prints before R+1 starts);
     // the stack x seed matrix inside each round fans out.
@@ -195,6 +202,11 @@ int main(int argc, char** argv) {
     std::optional<scc::trace::Recorder> recorder;
     if (!trace_path.empty()) recorder.emplace();
     std::optional<scc::metrics::MetricsRegistry> last_metrics;
+    // One histogram per stack (coll::kAllPrims order), merged over every
+    // round -- Histogram::merge is exact, so the soak-long tail stays
+    // deterministic regardless of round count or --jobs.
+    std::vector<scc::metrics::Histogram> soak_hist(
+        std::size(scc::coll::kAllPrims));
 
     long total_runs = 0;
     long failed_rounds = 0;
@@ -264,6 +276,9 @@ int main(int argc, char** argv) {
           scc::harness::run_conformance(spec);
       total_runs += report.runs;
       if (report.baseline_metrics) last_metrics = report.baseline_metrics;
+      for (std::size_t s = 0; s < report.latency_histograms.size(); ++s) {
+        soak_hist[s].merge(report.latency_histograms[s]);
+      }
       if (!report.passed()) {
         ++failed_rounds;
         std::fprintf(stderr, "round %ld (master-seed %llu): %s\n", round,
@@ -288,6 +303,27 @@ int main(int argc, char** argv) {
       last_metrics->write_json_file(metrics_path);
       std::printf("metrics snapshot written to %s (%zu paths)\n",
                   metrics_path.c_str(), last_metrics->size());
+    }
+    if (!hist_path.empty()) {
+      std::ofstream out(hist_path);
+      if (!out) {
+        std::fprintf(stderr, "--hist: cannot open %s\n", hist_path.c_str());
+        return 2;
+      }
+      out << "{\n  \"schema\": \"scc-hist-v1\",\n  \"histograms\": {";
+      bool first = true;
+      for (std::size_t s = 0; s < soak_hist.size(); ++s) {
+        out << (first ? "" : ",") << "\n    \""
+            << scc::coll::prims_name(scc::coll::kAllPrims[s]) << "\": ";
+        soak_hist[s].write_json_us(out);
+        first = false;
+      }
+      out << "\n  }\n}\n";
+      std::uint64_t recorded = 0;
+      for (const auto& h : soak_hist) recorded += h.count();
+      std::printf("latency histograms written to %s (%llu samples)\n",
+                  hist_path.c_str(),
+                  static_cast<unsigned long long>(recorded));
     }
     std::printf("perturb_soak: %ld rounds, %ld simulations, %ld failed\n",
                 rounds, total_runs, failed_rounds);

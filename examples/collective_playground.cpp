@@ -12,6 +12,8 @@
 //                         [--elements=N] [--reps=K] [--mesh=6x4] [--no-bug]
 //                         [--faults=SPEC] [--jobs=N] [--profile]
 //                         [--trace=out.json] [--metrics=out.json] [--blame]
+//                         [--sample=INTERVAL_US] [--sample-out=PREFIX]
+//                         [--hist]
 //
 // --algo overrides the collective's schedule (coll/algos.hpp) for the
 // RCCE-family variants; "auto" asks the Selector. Default: the paper's
@@ -30,6 +32,13 @@
 // prints the critical-path blame report of the last measured repetition
 // (which phases on which cores/links the end-to-end latency is spent in).
 //
+// --sample=U attaches the flight recorder (metrics::Sampler): the standard
+// machine counters are snapshotted every U microseconds of SIMULATED time
+// and written to <--sample-out>.csv / .json (scc-timeseries-v1; default
+// prefix "timeseries"). --hist prints the per-repetition latency histogram
+// (p50/p90/p99/p999) as JSON. Both are purely observational: enabling them
+// changes no simulated result byte.
+//
 // --variant=all runs every paper variant of the collective (each on its own
 // simulated machine) and prints one comparison table with speedups over the
 // blocking baseline; for collectives with algorithm variants every
@@ -41,6 +50,7 @@
 // this mode.
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <vector>
@@ -52,6 +62,7 @@
 #include "faults/fault_model.hpp"
 #include "harness/runner.hpp"
 #include "metrics/blame.hpp"
+#include "metrics/histogram.hpp"
 #include "trace/chrome_export.hpp"
 
 namespace {
@@ -121,15 +132,21 @@ int main(int argc, char** argv) {
     const std::string trace_path = flags.get("trace", "");
     const std::string metrics_path = flags.get("metrics", "");
     const bool blame = flags.get_bool("blame", false);
+    const double sample_us = flags.get_double("sample", 0.0);
+    const std::string sample_out = flags.get("sample-out", "timeseries");
+    const bool hist = flags.get_bool("hist", false);
+    if (sample_us < 0.0) throw std::runtime_error("--sample must be >= 0");
+    if (sample_us > 0.0) spec.sample_interval = SimTime::from_us(sample_us);
     spec.collect_metrics = !metrics_path.empty();
 
     if (all_variants) {
       if (!trace_path.empty() || !metrics_path.empty() || blame ||
-          spec.collect_profiles || spec.algo) {
+          spec.collect_profiles || spec.algo ||
+          spec.sample_interval > SimTime::zero() || hist) {
         throw std::runtime_error(
             "--variant=all compares every variant (and algorithm); --trace/"
-            "--metrics/--blame/--profile/--algo target a single run (pick "
-            "one variant)");
+            "--metrics/--blame/--profile/--algo/--sample/--hist target a "
+            "single run (pick one variant)");
       }
       // One row per (variant, algorithm) pair. RCKMPI and the MPB-direct
       // path have their own fixed schedule; the Stack-based variants run
@@ -232,6 +249,30 @@ int main(int argc, char** argv) {
       result.metrics->write_json_file(metrics_path);
       std::printf("  metrics      : %s (%zu paths)\n", metrics_path.c_str(),
                   result.metrics->size());
+    }
+    if (result.timeseries) {
+      const metrics::TimeSeries& ts = *result.timeseries;
+      std::ofstream csv(sample_out + ".csv");
+      ts.write_csv(csv);
+      std::ofstream json(sample_out + ".json");
+      ts.write_json(json);
+      if (!csv || !json) {
+        throw std::runtime_error("--sample-out: cannot write " + sample_out +
+                                 ".{csv,json}");
+      }
+      std::printf(
+          "  timeseries   : %s.{csv,json} (%zu rows, %llu ticks, "
+          "%llu decimation(s))\n",
+          sample_out.c_str(), ts.rows.size(),
+          static_cast<unsigned long long>(ts.ticks),
+          static_cast<unsigned long long>(ts.decimations));
+    }
+    if (hist) {
+      metrics::Histogram latency_hist;
+      for (const SimTime t : result.latencies) latency_hist.record_time(t);
+      std::printf("  latency hist : ");
+      latency_hist.write_json_us(std::cout);
+      std::printf("\n");
     }
     if (blame && !result.sample_windows.empty()) {
       const auto [begin, end] = result.sample_windows.back();

@@ -31,6 +31,12 @@ class RunningStats {
 /// Median of a sample vector (copies; callers keep their data).
 [[nodiscard]] double median(std::vector<double> samples);
 
+/// Exact sample quantile with linear interpolation between order statistics
+/// (the "type 7" definition: rank h = q * (n - 1)). q must be in [0, 1];
+/// the sample must be non-empty. quantile(v, 0.5) of an even-sized sample
+/// equals median(v); n == 1 returns the sole sample for every q.
+[[nodiscard]] double quantile(std::vector<double> samples, double q);
+
 /// Geometric mean; requires every sample > 0.
 [[nodiscard]] double geometric_mean(const std::vector<double>& samples);
 

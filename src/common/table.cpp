@@ -124,7 +124,8 @@ void Table::write_csv_file(const std::string& path) const {
   write_csv(out);
 }
 
-void Table::write_json(std::ostream& os, const std::string& name) const {
+void Table::write_json(std::ostream& os, const std::string& name,
+                       const std::string& extra_members) const {
   os << "{\n  \"schema\": \"scc-bench-v1\",\n  \"name\": \""
      << json_cell_escape(name) << "\",\n  \"rows\": [";
   for (std::size_t r = 0; r < rows_.size(); ++r) {
@@ -143,14 +144,16 @@ void Table::write_json(std::ostream& os, const std::string& name) const {
     }
     os << '}';
   }
-  os << "\n  ]\n}\n";
+  os << "\n  ]";
+  if (!extra_members.empty()) os << ",\n  " << extra_members;
+  os << "\n}\n";
 }
 
-void Table::write_json_file(const std::string& path,
-                            const std::string& name) const {
+void Table::write_json_file(const std::string& path, const std::string& name,
+                            const std::string& extra_members) const {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open for writing: " + path);
-  write_json(out, name);
+  write_json(out, name, extra_members);
 }
 
 }  // namespace scc

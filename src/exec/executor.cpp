@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +34,14 @@ int jobs_from_env() {
   return static_cast<int>(parsed);
 }
 
+/// Monotonic host-time delta in nanoseconds (instrumentation only).
+std::uint64_t ns_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
 }  // namespace
 
 int default_jobs() {
@@ -56,11 +65,15 @@ int jobs_flag(const CliFlags& flags) {
   return static_cast<int>(jobs);
 }
 
-WorkerPool::WorkerPool(int threads) {
+WorkerPool::WorkerPool(int threads, bool instrument)
+    : instrument_(instrument) {
   SCC_EXPECTS(threads >= 1);
+  worker_busy_ns_.resize(static_cast<std::size_t>(threads), 0);
   helpers_.reserve(static_cast<std::size_t>(threads - 1));
-  for (int t = 1; t < threads; ++t)
-    helpers_.emplace_back([this] { helper_loop(); });
+  for (int t = 1; t < threads; ++t) {
+    helpers_.emplace_back(
+        [this, t] { helper_loop(static_cast<std::size_t>(t - 1)); });
+  }
 }
 
 WorkerPool::~WorkerPool() {
@@ -72,15 +85,19 @@ WorkerPool::~WorkerPool() {
   for (std::thread& helper : helpers_) helper.join();
 }
 
-void WorkerPool::work(Round& round) {
+std::uint64_t WorkerPool::work(Round& round) {
+  std::uint64_t busy = 0;
   for (;;) {
     const std::size_t i = round.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= round.count) return;
+    if (i >= round.count) return busy;
+    const auto t0 = instrument_ ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
     try {
       (*round.fn)(i);
     } catch (...) {
       round.errors[i] = std::current_exception();
     }
+    if (instrument_) busy += ns_since(t0);
     // The release increment pairs with run_round's acquire read: every
     // fn(i) effect (including errors[i]) happens-before the round's end.
     // Only the LAST finisher takes the mutex and notifies -- one park/notify
@@ -93,13 +110,18 @@ void WorkerPool::work(Round& round) {
   }
 }
 
-void WorkerPool::helper_loop() {
+void WorkerPool::helper_loop(std::size_t worker) {
   std::uint64_t seen = 0;
   for (;;) {
     Round* round = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      const auto park0 = instrument_ ? std::chrono::steady_clock::now()
+                                     : std::chrono::steady_clock::time_point{};
       cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      // park_ns_ accumulates under the lock the wait reacquired -- the
+      // instrumentation adds no synchronization the pool didn't already do.
+      if (instrument_) park_ns_ += ns_since(park0);
       if (stop_) return;
       seen = epoch_;
       round = round_;
@@ -110,8 +132,12 @@ void WorkerPool::helper_loop() {
       if (round != nullptr) ++active_;
     }
     if (round != nullptr) {
-      work(*round);
+      const std::uint64_t busy = work(*round);
       const std::lock_guard<std::mutex> lock(mutex_);
+      if (instrument_) {
+        busy_ns_ += busy;
+        worker_busy_ns_[worker] += busy;
+      }
       if (--active_ == 0) cv_done_.notify_all();
     }
   }
@@ -120,10 +146,19 @@ void WorkerPool::helper_loop() {
 void WorkerPool::run_round(std::size_t count,
                            const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
+  ++rounds_;
+  tasks_ += count;
   if (helpers_.empty() || count == 1) {
     // Exactly the serial path: inline, in order, first failure propagates
     // from its own frame.
+    const auto t0 = instrument_ ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
     for (std::size_t i = 0; i < count; ++i) fn(i);
+    if (instrument_) {
+      const std::uint64_t busy = ns_since(t0);
+      busy_ns_ += busy;
+      worker_busy_ns_.back() += busy;
+    }
     return;
   }
 
@@ -139,13 +174,20 @@ void WorkerPool::run_round(std::size_t count,
     ++epoch_;
   }
   cv_work_.notify_all();  // one batched wakeup for the whole round
-  work(round);            // the calling thread is worker 0
+  const std::uint64_t caller_busy = work(round);  // the caller is a worker too
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    const auto wait0 = instrument_ ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point{};
     cv_done_.wait(lock, [&] {
       return round.completed.load(std::memory_order_acquire) == count &&
              active_ == 0;
     });
+    if (instrument_) {
+      barrier_wait_ns_ += ns_since(wait0);
+      busy_ns_ += caller_busy;
+      worker_busy_ns_.back() += caller_busy;
+    }
     round_ = nullptr;
     in_round_ = false;
   }
@@ -155,6 +197,19 @@ void WorkerPool::run_round(std::size_t count,
   for (std::exception_ptr& e : round.errors) {
     if (e) std::rethrow_exception(e);
   }
+}
+
+WorkerPoolStats WorkerPool::pool_stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  WorkerPoolStats s;
+  s.rounds = rounds_;
+  s.tasks = tasks_;
+  s.instrumented = instrument_;
+  s.busy_ns = busy_ns_;
+  s.park_ns = park_ns_;
+  s.barrier_wait_ns = barrier_wait_ns_;
+  s.worker_busy_ns = worker_busy_ns_;
+  return s;
 }
 
 void for_each_index(std::size_t count, int jobs,

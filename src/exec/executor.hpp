@@ -58,6 +58,25 @@ namespace scc::exec {
 /// std::runtime_error through CliFlags' hardened get_int path.
 [[nodiscard]] int jobs_flag(const CliFlags& flags);
 
+/// Executor introspection counters (WorkerPool::pool_stats).
+///
+/// rounds/tasks are pure work-volume counts, deterministic for a given
+/// program. The *_ns timers are HOST wall-clock (steady_clock) and are only
+/// populated when the pool was built with instrument = true: they vary run
+/// to run and must never flow into determinism-gated artifacts -- they are
+/// for human diagnosis ("workers spend 80% of the window parked waiting for
+/// the straggler partition"), exported via metrics::collect_worker_pool.
+struct WorkerPoolStats {
+  std::uint64_t rounds = 0;  // run_round calls with count > 0
+  std::uint64_t tasks = 0;   // indices executed across all rounds
+  bool instrumented = false;
+  std::uint64_t busy_ns = 0;          // total time inside fn across workers
+  std::uint64_t park_ns = 0;          // helpers blocked between rounds
+  std::uint64_t barrier_wait_ns = 0;  // caller blocked on round completion
+  /// Per-worker busy time; helpers 0..n-2 first, the calling thread last.
+  std::vector<std::uint64_t> worker_busy_ns;
+};
+
 /// Persistent bounded worker pool for repeated index fan-outs.
 ///
 /// for_each_index spawns and joins threads per call, which is fine for a
@@ -79,7 +98,10 @@ class WorkerPool {
  public:
   /// `threads` >= 1: maximum concurrent executors, including the caller.
   /// threads == 1 spawns nothing and makes run_round a plain inline loop.
-  explicit WorkerPool(int threads);
+  /// `instrument` additionally samples steady_clock around fn/park/barrier
+  /// waits (see WorkerPoolStats); off by default so the PDES window hot
+  /// path pays no clock syscalls.
+  explicit WorkerPool(int threads, bool instrument = false);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -91,6 +113,10 @@ class WorkerPool {
 
   void run_round(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  /// Snapshot of the cumulative counters. Must not race a running round
+  /// (query between rounds / after the last one, like the PDES drain does).
+  [[nodiscard]] WorkerPoolStats pool_stats() const;
+
  private:
   struct Round {
     std::size_t count = 0;
@@ -100,10 +126,11 @@ class WorkerPool {
     std::vector<std::exception_ptr> errors;
   };
 
-  void helper_loop();
-  void work(Round& round);
+  void helper_loop(std::size_t worker);
+  /// Returns nanoseconds spent inside fn by this worker (0 uninstrumented).
+  std::uint64_t work(Round& round);
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_work_;   // helpers park here between rounds
   std::condition_variable cv_done_;   // run_round parks here for the tail
   Round* round_ = nullptr;            // published under mutex_
@@ -111,6 +138,16 @@ class WorkerPool {
   int active_ = 0;                    // helpers inside the current round
   bool stop_ = false;
   bool in_round_ = false;
+  bool instrument_ = false;
+  // Work-volume counters (caller thread only; rounds are sequential).
+  std::uint64_t rounds_ = 0;
+  std::uint64_t tasks_ = 0;
+  // Host timers, written only under mutex_ (helpers already take it at
+  // round exit, so instrumentation adds no extra synchronization points).
+  std::uint64_t busy_ns_ = 0;
+  std::uint64_t park_ns_ = 0;
+  std::uint64_t barrier_wait_ns_ = 0;
+  std::vector<std::uint64_t> worker_busy_ns_;  // helpers first, caller last
   std::vector<std::thread> helpers_;
 };
 

@@ -172,6 +172,7 @@ ConformanceReport run_conformance(const ConformanceSpec& spec) {
   // skipped them); the wasted work only occurs on already-failing
   // configurations and never reaches the report.
   std::optional<std::vector<std::vector<double>>> reference;
+  report.latency_histograms.resize(stacks);
   for (std::size_t s = 0; s < stacks; ++s) {
     const std::string stack_name{coll::prims_name(coll::kAllPrims[s])};
     const auto record = [&](std::optional<std::uint64_t> perturb_seed,
@@ -187,6 +188,9 @@ ConformanceReport run_conformance(const ConformanceSpec& spec) {
       continue;  // no baseline -> perturbed runs have nothing to diff against
     }
     const RunResult& baseline = *base_out.result;
+    for (const SimTime t : baseline.latencies) {
+      report.latency_histograms[s].record_time(t);
+    }
     if (reference) {
       // Cross-stack differential check: the wire protocol and data results
       // are meant to be identical across the three layers.
@@ -208,6 +212,9 @@ ConformanceReport run_conformance(const ConformanceSpec& spec) {
         continue;
       }
       const RunResult& perturbed = *out.result;
+      for (const SimTime t : perturbed.latencies) {
+        report.latency_histograms[s].record_time(t);
+      }
       const std::string diff = diff_outputs(perturbed.outputs,
                                             baseline.outputs);
       if (!diff.empty()) record(pseed, "result mismatch: " + diff);

@@ -33,6 +33,7 @@
 
 #include "coll/block_split.hpp"
 #include "harness/runner.hpp"
+#include "metrics/histogram.hpp"
 
 namespace scc::harness {
 
@@ -108,6 +109,11 @@ struct ConformanceReport {
   /// run every other run is diffed against); populated when
   /// spec.compare_metrics. Lets soak drivers export what was checked.
   std::optional<metrics::MetricsRegistry> baseline_metrics;
+  /// Per-stack latency histogram over every completed simulation of the
+  /// matrix (baseline and all perturbed seeds, every measured repetition;
+  /// femtosecond values), indexed like coll::kAllPrims and merged in spec
+  /// order -- byte-identical for every jobs value.
+  std::vector<metrics::Histogram> latency_histograms;
 
   [[nodiscard]] bool passed() const { return failures.empty(); }
   /// Human-readable multi-line summary; lists every failure's replay line.

@@ -157,6 +157,31 @@ PdesScenarioResult run_pdes_mesh(const PdesScenarioSpec& spec) {
     }
   }
 
+  // Window-cadence flight recorder: one sample per conservative window,
+  // taken by the coordinator thread between rounds (the window probe), so
+  // reading the drain counters races nothing. The window sequence is a
+  // function of the event timestamps alone -- identical for any worker
+  // count -- and the nominal interval is the lookahead (the window width).
+  std::optional<metrics::Sampler> sampler;
+  if (spec.sample) {
+    sampler.emplace(config.lookahead);
+    sampler->set_label(strprintf("pdes_mesh %dx%d p=%d", spec.tiles_x,
+                                 spec.tiles_y, spec.partitions));
+    sim::PdesEngine* pdes_ptr = &pdes;
+    sampler->add_column("pdes/events",
+                        [pdes_ptr] { return pdes_ptr->events_processed(); });
+    sampler->add_column("pdes/windows",
+                        [pdes_ptr] { return pdes_ptr->stats().windows; });
+    sampler->add_column("pdes/posts_delivered", [pdes_ptr] {
+      return pdes_ptr->stats().posts_delivered;
+    });
+    sampler->add_column("pdes/max_window_events", [pdes_ptr] {
+      return pdes_ptr->stats().max_window_events;
+    });
+    pdes.set_window_probe(
+        [&sampler](SimTime horizon) { sampler->tick(horizon); });
+  }
+
   // Build the cells and seed each partition's heap with the first steps.
   const int tiles = mesh.topo.num_tiles();
   mesh.cells.resize(static_cast<std::size_t>(tiles));
@@ -189,6 +214,7 @@ PdesScenarioResult run_pdes_mesh(const PdesScenarioSpec& spec) {
   pdes.run();
 
   PdesScenarioResult result;
+  if (sampler) result.timeseries = sampler->take();
   result.pdes = pdes.stats();
   result.engine = pdes.aggregated_stats();
   result.events = pdes.events_processed();
@@ -231,6 +257,19 @@ PdesScenarioResult run_pdes_mesh(const PdesScenarioSpec& spec) {
               /*invariant=*/true);
   metrics.set("pdes/max_window_events", result.pdes.max_window_events,
               metrics::Unit::kCount, /*invariant=*/true);
+  // Introspection counters of the conservative drain itself (all functions
+  // of the deterministic window sequence -- identical for any worker
+  // count, so safe under the identity tests' metrics diff).
+  metrics.set("pdes/saturated_windows", result.pdes.saturated_windows,
+              metrics::Unit::kCount, /*invariant=*/true);
+  metrics.set("pdes/max_window_posts", result.pdes.max_window_posts,
+              metrics::Unit::kCount, /*invariant=*/true);
+  metrics.set("pdes/posts_at_floor", result.pdes.posts_at_floor,
+              metrics::Unit::kCount, /*invariant=*/true);
+  if (result.pdes.min_post_slack < SimTime::max()) {
+    metrics.set_time("pdes/min_post_slack", result.pdes.min_post_slack,
+                     /*invariant=*/true);
+  }
   metrics.set("pdes/checksum", result.checksum, metrics::Unit::kCount,
               /*invariant=*/true);
   metrics.set_time("pdes/end_time", result.end_time, /*invariant=*/true);

@@ -23,12 +23,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
 #include "common/time.hpp"
 #include "metrics/registry.hpp"
+#include "metrics/sampler.hpp"
 #include "sim/pdes.hpp"
 
 namespace scc::harness {
@@ -51,6 +53,11 @@ struct PdesScenarioSpec {
   /// composes per partition"). Still deterministic for any worker count.
   bool perturb = false;
   std::uint64_t perturb_seed = 0;
+  /// Attach a window-cadence flight recorder: the coordinator samples the
+  /// drain counters once per conservative window (PdesEngine window probe)
+  /// into PdesScenarioResult::timeseries. The window sequence is
+  /// deterministic, so the series is byte-identical for any worker count.
+  bool sample = false;
 };
 
 struct PdesScenarioResult {
@@ -73,6 +80,8 @@ struct PdesScenarioResult {
   /// when the spec did not ask for tracing.
   std::string trace_json;
   metrics::MetricsRegistry metrics;
+  /// Window-cadence drain counters (when PdesScenarioSpec::sample).
+  std::optional<metrics::TimeSeries> timeseries;
 
   /// Per-partition result table (the CSV/JSON artifact).
   [[nodiscard]] Table to_table() const;

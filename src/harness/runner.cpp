@@ -417,6 +417,13 @@ RunResult run_collective(const RunSpec& spec) {
     spec.trace->begin_run(run_label(spec));
     machine.attach_trace(spec.trace);
   }
+  std::optional<metrics::Sampler> sampler;
+  if (spec.sample_interval > SimTime::zero()) {
+    sampler.emplace(spec.sample_interval);
+    sampler->set_label(run_label(spec));
+    metrics::add_machine_columns(machine, *sampler);
+    sampler->attach(machine.engine());
+  }
 
   const Buffers sizes = buffer_sizes(spec.collective, spec.elements, p);
   std::vector<std::size_t> agv_counts;
@@ -470,6 +477,11 @@ RunResult run_collective(const RunSpec& spec) {
   result.lines_sent = machine.traffic().total_lines_sent();
   result.line_hops = machine.traffic().total_line_hops();
   result.sample_windows = data[0].windows;
+  result.latencies = samples;
+  if (sampler) {
+    machine.engine().clear_probe();
+    result.timeseries = sampler->take();
+  }
   if (spec.capture_outputs) {
     result.outputs.reserve(static_cast<std::size_t>(p));
     for (int r = 0; r < p; ++r) {

@@ -17,6 +17,7 @@
 #include "machine/profile.hpp"
 #include "mem/cache.hpp"
 #include "metrics/registry.hpp"
+#include "metrics/sampler.hpp"
 #include "rcce/rcce.hpp"
 #include "trace/recorder.hpp"
 
@@ -109,6 +110,12 @@ struct RunSpec {
   /// bit-identical; coll::Algo::kAuto = the Selector picks from
   /// (collective, n, p, prims). Only valid for the RCCE-family variants.
   std::optional<coll::Algo> algo;
+  /// When nonzero, attaches a metrics::Sampler flight recorder at this
+  /// simulated-time cadence for the whole run (warmup included): the
+  /// standard machine columns (metrics::add_machine_columns) are snapshotted
+  /// every interval and returned in RunResult::timeseries. Purely
+  /// observational -- enabling sampling changes no simulated result byte.
+  SimTime sample_interval = SimTime::zero();
   /// When non-null, the run is traced into this recorder: a new run scope
   /// labelled "<collective>/<variant> n=<elements>" is opened and the
   /// machine's phase intervals, scheduler instants and link windows are
@@ -133,8 +140,14 @@ struct RunResult {
   /// windows the latencies are sampled from; feed one to
   /// metrics::analyze_blame together with the run's trace.
   std::vector<std::pair<SimTime, SimTime>> sample_windows;
+  /// Per-repetition measured latencies on core 0, in repetition order
+  /// (mean/min/max above are derived from these). Always filled; feed them
+  /// to a metrics::Histogram for tail-latency aggregation across runs.
+  std::vector<SimTime> latencies;
   /// Full counter snapshot (when collect_metrics).
   std::optional<metrics::MetricsRegistry> metrics;
+  /// Flight-recorder series (when sample_interval was nonzero).
+  std::optional<metrics::TimeSeries> timeseries;
 };
 
 /// Runs the experiment on a fresh machine. Throws std::runtime_error on

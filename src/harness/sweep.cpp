@@ -104,12 +104,16 @@ SweepResult run_sweep(const SweepSpec& spec) {
   // Deterministic merge: spec order (sizes outer, variants inner), exactly
   // the order the serial loop produced and the order absorb() prefixes
   // were historically applied in.
+  result.histograms.resize(stride);
   for (std::size_t si = 0; si < sizes.size(); ++si) {
     SweepPoint point;
     point.elements = sizes[si];
     for (std::size_t vi = 0; vi < stride; ++vi) {
       const RunResult& rr = cells[si * stride + vi];
       point.latency_us.push_back(rr.mean_latency.us());
+      for (const SimTime s : rr.latencies) {
+        result.histograms[vi].record_time(s);
+      }
       if (rr.metrics) {
         result.metrics.absorb(
             *rr.metrics,

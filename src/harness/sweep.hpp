@@ -8,6 +8,7 @@
 
 #include "common/table.hpp"
 #include "harness/runner.hpp"
+#include "metrics/histogram.hpp"
 
 namespace scc::harness {
 
@@ -48,6 +49,10 @@ struct SweepResult {
   /// All points' snapshots (when SweepSpec::collect_metrics), prefixed
   /// "point/<elements>/<variant>/".
   metrics::MetricsRegistry metrics;
+  /// Per-variant tail-latency histogram over EVERY measured repetition of
+  /// EVERY size in the sweep (femtosecond values), merged in spec order --
+  /// byte-identical output for any jobs value (Histogram::merge is exact).
+  std::vector<metrics::Histogram> histograms;  // one per variant, same order
 
   /// Mean over the sweep of (blocking latency / variant latency) -- the
   /// paper's "average speedup relative to the RCCE_comm baseline".

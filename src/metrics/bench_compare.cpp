@@ -44,6 +44,56 @@ std::string pick_key_column(const JsonValue::Array& rows) {
   return first.empty() ? "" : first.begin()->first;
 }
 
+/// Gates the optional "histograms" block: a two-level object
+/// histograms.<variant>.<field> of latency-quantile numbers. Always
+/// two-sided -- a tail quantile drifting low is as suspicious as one
+/// drifting high. Baseline without the block gates nothing; baseline with
+/// it and current without it is a coverage regression.
+void compare_histograms(const JsonValue& baseline, const JsonValue& current,
+                        const CompareOptions& options, CompareOutcome& out) {
+  const JsonValue* base_h = baseline.find("histograms");
+  if (base_h == nullptr || !base_h->is_object()) return;
+  const JsonValue* cur_h = current.find("histograms");
+  if (cur_h == nullptr || !cur_h->is_object()) {
+    out.regressions.emplace_back(
+        "histograms block present in baseline but missing from current run "
+        "(run with --hist)");
+    return;
+  }
+  for (const auto& [variant, base_fields] : base_h->as_object()) {
+    if (!base_fields.is_object()) continue;
+    const JsonValue* cur_fields = cur_h->find(variant);
+    if (cur_fields == nullptr || !cur_fields->is_object()) {
+      out.regressions.push_back(strprintf(
+          "histogram %s present in baseline but missing from current run",
+          variant.c_str()));
+      continue;
+    }
+    for (const auto& [field, base_cell] : base_fields.as_object()) {
+      if (!base_cell.is_number()) continue;
+      const double base = base_cell.as_number();
+      const JsonValue* cur_cell = cur_fields->find(field);
+      if (cur_cell == nullptr || !cur_cell->is_number()) {
+        out.regressions.push_back(strprintf(
+            "histogram %s: field %s missing from current run",
+            variant.c_str(), field.c_str()));
+        continue;
+      }
+      const double cur = cur_cell->as_number();
+      ++out.values_compared;
+      const double slack = options.rel_tol * std::fabs(base) + options.abs_tol;
+      if (cur > base + slack || cur < base - slack) {
+        out.regressions.push_back(strprintf(
+            "histogram %s: %s drifted: baseline %.4f, current %.4f "
+            "(%+.2f%%, tolerance %.2f%%)",
+            variant.c_str(), field.c_str(), base, cur,
+            base != 0.0 ? 100.0 * (cur - base) / std::fabs(base) : 0.0,
+            100.0 * options.rel_tol));
+      }
+    }
+  }
+}
+
 }  // namespace
 
 CompareOutcome compare_bench(const JsonValue& baseline,
@@ -125,6 +175,7 @@ CompareOutcome compare_bench(const JsonValue& baseline,
         "current run has %zu row(s) not in the baseline (not gated)",
         cur_by_key.size() - matched));
   }
+  compare_histograms(baseline, current, options, out);
   return out;
 }
 

@@ -39,7 +39,9 @@ struct CompareOutcome {
 /// it -- the figure benches do -- else the alphabetically first column). A
 /// baseline row or
 /// numeric column missing from `current` is a regression (coverage loss);
-/// extra rows/columns in `current` are notes.
+/// extra rows/columns in `current` are notes. When the baseline carries a
+/// "histograms" block (--hist), its quantiles are gated too -- always
+/// two-sided, since a drifting tail is suspicious in either direction.
 [[nodiscard]] CompareOutcome compare_bench(const JsonValue& baseline,
                                            const JsonValue& current,
                                            const CompareOptions& options,

@@ -45,6 +45,14 @@ void collect_machine(machine::SccMachine& machine, MetricsRegistry& out) {
             machine.mpb().high_water(r), Unit::kBytes, kInvariant);
   }
 
+  // --- trace recorder health --------------------------------------------
+  if (const trace::Recorder* rec = machine.engine().trace()) {
+    // A saturated recorder silently truncates the event stream; surfacing
+    // the drop count here means a blame/export consumer can tell "quiet
+    // trace" from "full trace" without re-deriving capacity.
+    out.set("trace/dropped_events", rec->dropped(), Unit::kCount, kVariant);
+  }
+
   // --- flags -------------------------------------------------------------
   const machine::FlagStats& flags = machine.flags().stats();
   out.set("flags/sets", flags.sets, Unit::kCount, kInvariant);
@@ -76,6 +84,97 @@ void collect_machine(machine::SccMachine& machine, MetricsRegistry& out) {
     out.set_time(strprintf("noc/link/%s/max_queue_fs", name.c_str()),
                  link.max_queue, kVariant);
   }
+}
+
+void collect_pdes(sim::PdesEngine& pdes, MetricsRegistry& out) {
+  const sim::PdesStats& s = pdes.stats();
+  // Config facts are volume-type; the protocol counters are classified
+  // time-type because schedule perturbation moves heap minima and therefore
+  // window boundaries. ALL of them are worker-count-invariant -- that is
+  // the PdesEngine determinism contract, and why "pdes/workers" is
+  // deliberately absent here.
+  out.set("pdes/partitions", static_cast<std::uint64_t>(pdes.partitions()),
+          Unit::kCount, kInvariant);
+  out.set_time("pdes/lookahead_fs", pdes.lookahead(), kInvariant);
+  out.set("pdes/windows", s.windows, Unit::kCount, kVariant);
+  out.set("pdes/saturated_windows", s.saturated_windows, Unit::kCount,
+          kVariant);
+  out.set("pdes/posts_delivered", s.posts_delivered, Unit::kCount, kVariant);
+  out.set("pdes/max_window_events", s.max_window_events, Unit::kCount,
+          kVariant);
+  out.set("pdes/max_window_posts", s.max_window_posts, Unit::kCount,
+          kVariant);
+  out.set("pdes/posts_at_floor", s.posts_at_floor, Unit::kCount, kVariant);
+  if (s.min_post_slack < SimTime::max()) {
+    // Only meaningful once an in-window post merged; the max() sentinel
+    // would read as "5 hours of slack".
+    out.set_time("pdes/min_post_slack_fs", s.min_post_slack, kVariant);
+  }
+  for (int p = 0; p < pdes.partitions(); ++p) {
+    out.set(strprintf("pdes/partition/%d/events", p),
+            pdes.partition(p).events_processed(), Unit::kCount, kVariant);
+  }
+}
+
+void collect_worker_pool(const exec::WorkerPoolStats& stats,
+                         MetricsRegistry& out) {
+  out.set("exec/rounds", stats.rounds, Unit::kCount, kVariant);
+  out.set("exec/tasks", stats.tasks, Unit::kCount, kVariant);
+  if (!stats.instrumented) return;
+  // Host wall-clock nanoseconds, stored as plain counts (Unit::kCount):
+  // kFemtoseconds is reserved for *virtual* time, and these must never be
+  // mistaken for simulated results.
+  out.set("exec/busy_ns", stats.busy_ns, Unit::kCount, kVariant);
+  out.set("exec/park_ns", stats.park_ns, Unit::kCount, kVariant);
+  out.set("exec/barrier_wait_ns", stats.barrier_wait_ns, Unit::kCount,
+          kVariant);
+  for (std::size_t w = 0; w < stats.worker_busy_ns.size(); ++w) {
+    out.set(strprintf("exec/worker/%zu/busy_ns", w), stats.worker_busy_ns[w],
+            Unit::kCount, kVariant);
+  }
+}
+
+void add_machine_columns(machine::SccMachine& machine, Sampler& sampler) {
+  machine::SccMachine* m = &machine;
+  sampler.add_column("engine/events_processed",
+                     [m] { return m->engine().events_processed(); });
+  sampler.add_column("engine/parks", [m] { return m->engine().stats().parks; });
+  // Gauge: coroutines currently parked on a wait queue (every wake-up of a
+  // parked waiter decrements; a re-park counts a fresh park).
+  sampler.add_column("engine/waiting", [m] {
+    const sim::EngineStats& s = m->engine().stats();
+    return s.parks - s.waiters_woken;
+  });
+  sampler.add_column("flags/sets", [m] { return m->flags().stats().sets; });
+  sampler.add_column("flags/polls", [m] { return m->flags().stats().polls; });
+  sampler.add_column("flags/wakeups",
+                     [m] { return m->flags().stats().wakeups; });
+  sampler.add_column("noc/lines_sent",
+                     [m] { return m->traffic().total_lines_sent(); });
+  sampler.add_column("noc/line_hops",
+                     [m] { return m->traffic().total_line_hops(); });
+  sampler.add_column("noc/contention/delayed_transfers", [m] {
+    return m->contention().delayed_transfers();
+  });
+  sampler.add_column("noc/contention/total_delay_fs", [m] {
+    return m->contention().total_delay().femtoseconds();
+  });
+  sampler.add_column("cache/hits", [m] {
+    std::uint64_t total = 0;
+    for (int r = 0; r < m->num_cores(); ++r) total += m->cache(r).stats().hits;
+    return total;
+  });
+  sampler.add_column("cache/misses", [m] {
+    std::uint64_t total = 0;
+    for (int r = 0; r < m->num_cores(); ++r)
+      total += m->cache(r).stats().misses;
+    return total;
+  });
+  sampler.add_column("mpb/high_water_bytes", [m] {
+    std::uint64_t total = 0;
+    for (int r = 0; r < m->num_cores(); ++r) total += m->mpb().high_water(r);
+    return total;
+  });
 }
 
 void collect_channel(const rckmpi::ChannelStats& stats,

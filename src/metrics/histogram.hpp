@@ -1,0 +1,88 @@
+// HDR-style log-bucketed latency histogram.
+//
+// ROADMAP item 4 wants p50/p99/p999 tail latency over millions of
+// simulated operations; keeping every sample would cost memory linear in
+// the run, and merging sorted sample vectors across host threads would be
+// O(n log n) per merge. This histogram keeps a fixed ~2K bucket array
+// instead: each power-of-two range is divided into 2^kSubBucketBits linear
+// sub-buckets, so any recorded value lands in a bucket whose width is at
+// most value / 2^kSubBucketBits -- quantiles are exact to a relative error
+// of 2^-kSubBucketBits (~3%) at every scale, in O(1) memory.
+//
+// Determinism contract (what the obs tier pins):
+//   - record() is pure bucket arithmetic on the uint64 value -- no floats,
+//     no allocation order dependence;
+//   - merge() is exact bucket-wise addition, so any split of a sample
+//     stream across histograms merges to the bit-identical state the
+//     serial stream would have produced (merge order irrelevant);
+//   - value_at_quantile() walks cumulative counts and reports the bucket
+//     midpoint (clamped into [min, max], which are tracked exactly), so
+//     exported quantiles are byte-identical for any --jobs / worker split.
+//
+// Values are unit-agnostic uint64 counts; collective latencies record
+// femtoseconds (record_time) and export microseconds.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace scc::metrics {
+
+class Histogram {
+ public:
+  /// Linear sub-buckets per power-of-two range; 2^5 = 32 gives ~3.1%
+  /// worst-case relative quantile error.
+  static constexpr int kSubBucketBits = 5;
+  static constexpr std::uint64_t kSubBuckets = std::uint64_t{1}
+                                               << kSubBucketBits;
+
+  void record(std::uint64_t value);
+  /// Convenience: records t.femtoseconds().
+  void record_time(SimTime t) { record(t.femtoseconds()); }
+
+  /// Exact bucket-wise merge; commutative and associative.
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  /// Exact extrema; require a non-empty histogram.
+  [[nodiscard]] std::uint64_t min() const;
+  [[nodiscard]] std::uint64_t max() const;
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  /// sum / count; NaN when empty (writers must route through json_number).
+  [[nodiscard]] double mean() const;
+
+  /// Smallest recorded value v such that at least ceil(q * count) recorded
+  /// values are <= its bucket, reported as the bucket midpoint clamped into
+  /// [min(), max()]. q in [0, 1]; q = 0 -> min(), q = 1 -> max() (exact).
+  /// Requires a non-empty histogram.
+  [[nodiscard]] std::uint64_t value_at_quantile(double q) const;
+
+  /// Inclusive value range [lower, upper] of the bucket `index` maps to
+  /// (exposed for the differential tests against common/stats quantile).
+  [[nodiscard]] static std::uint64_t bucket_lower(std::size_t index);
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t index);
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value);
+
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+
+  /// One JSON object (no surrounding key): {"count": N, "min_us": ...,
+  /// "mean_us": ..., "p50_us": ..., "p90_us": ..., "p99_us": ...,
+  /// "p999_us": ..., "max_us": ...}, values converted fs -> us through
+  /// json_number (an empty histogram emits count 0 and null statistics).
+  void write_json_us(std::ostream& os) const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;  // grown on demand, index order
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace scc::metrics

@@ -1,6 +1,7 @@
 #include "metrics/json.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -218,6 +219,11 @@ JsonValue parse_json_file(const std::string& path) {
   } catch (const std::runtime_error& e) {
     throw std::runtime_error(path + ": " + e.what());
   }
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  return strprintf("%.17g", v);
 }
 
 std::string json_escape(std::string_view s) {

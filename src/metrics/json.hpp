@@ -84,4 +84,10 @@ class JsonValue {
 /// quotes). Handles quotes, backslash and control characters.
 [[nodiscard]] std::string json_escape(std::string_view s);
 
+/// Renders a double as a JSON number token. Non-finite values (NaN and
+/// +/-Inf, typically from zero-division in derived rates) have no JSON
+/// representation and would corrupt the document; they render as "null".
+/// Every double-valued writer in this library must go through this.
+[[nodiscard]] std::string json_number(double v);
+
 }  // namespace scc::metrics

@@ -1,0 +1,227 @@
+#include "metrics/report.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+#include "common/string_util.hpp"
+
+namespace scc::metrics {
+
+namespace {
+
+std::string html_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Two-decimal fixed-point: enough resolution for a chart coordinate or a
+/// microsecond latency, and short stable output (no %g exponent jumps).
+std::string fp(double v) { return strprintf("%.2f", v); }
+
+/// Linear white->red ramp for utilization shares in [0, 1].
+std::string heat_color(double share) {
+  share = std::clamp(share, 0.0, 1.0);
+  const int r = 255;
+  const int g = static_cast<int>(235.0 * (1.0 - share));
+  const int b = static_cast<int>(225.0 * (1.0 - share));
+  return strprintf("#%02x%02x%02x", r, g, b);
+}
+
+/// One column of a TimeSeries as an SVG sparkline (area under a polyline),
+/// auto-scaled to the column's max value.
+void write_sparkline(std::ostream& os, const TimeSeries& ts,
+                     std::size_t column) {
+  constexpr double kW = 600.0;
+  constexpr double kH = 60.0;
+  std::uint64_t peak = 0;
+  for (const auto& row : ts.rows) peak = std::max(peak, row.values[column]);
+  os << "<div class='spark'><span class='sparklabel'>"
+     << html_escape(ts.columns[column]) << " (peak " << peak << ")</span>";
+  os << "<svg width='" << static_cast<int>(kW) << "' height='"
+     << static_cast<int>(kH) << "' viewBox='0 0 " << static_cast<int>(kW)
+     << ' ' << static_cast<int>(kH) << "'>";
+  if (ts.rows.size() >= 2 && peak > 0) {
+    const SimTime t0 = ts.rows.front().t;
+    const SimTime t1 = ts.rows.back().t;
+    const double span =
+        static_cast<double>(t1.femtoseconds() - t0.femtoseconds());
+    std::string pts;
+    pts.reserve(ts.rows.size() * 14 + 32);
+    pts += fp(0.0) + ',' + fp(kH) + ' ';
+    for (const auto& row : ts.rows) {
+      const double x =
+          span == 0.0
+              ? 0.0
+              : kW *
+                    static_cast<double>(row.t.femtoseconds() -
+                                        t0.femtoseconds()) /
+                    span;
+      const double y =
+          kH - (kH - 2.0) * (static_cast<double>(row.values[column]) /
+                             static_cast<double>(peak));
+      pts += fp(x) + ',' + fp(y) + ' ';
+    }
+    pts += fp(kW) + ',' + fp(kH);
+    os << "<polygon points='" << pts << "' fill='#cfe3f5' stroke='#2166ac'"
+       << " stroke-width='1'/>";
+  }
+  os << "</svg></div>\n";
+}
+
+/// Mesh-link utilization heatmap: parses "noc/link/(fx,fy)->(tx,ty)/busy_fs"
+/// registry paths and draws each directed link as a colored edge between
+/// tile centers (offset sideways so the two directions don't overlap).
+void write_link_heatmap(std::ostream& os, const MetricsRegistry& reg) {
+  struct Link {
+    int fx, fy, tx, ty;
+    std::uint64_t busy;
+  };
+  std::vector<Link> links;
+  int max_x = 0;
+  int max_y = 0;
+  std::uint64_t peak = 0;
+  constexpr std::string_view kPrefix = "noc/link/";
+  constexpr std::string_view kSuffix = "/busy_fs";
+  for (const auto& [path, metric] : reg.entries()) {
+    if (path.size() <= kPrefix.size() + kSuffix.size()) continue;
+    if (path.compare(0, kPrefix.size(), kPrefix) != 0) continue;
+    if (path.compare(path.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+        0) {
+      continue;
+    }
+    const std::string name = path.substr(
+        kPrefix.size(), path.size() - kPrefix.size() - kSuffix.size());
+    Link l{};
+    if (std::sscanf(name.c_str(), "(%d,%d)->(%d,%d)", &l.fx, &l.fy, &l.tx,
+                    &l.ty) != 4) {
+      continue;
+    }
+    l.busy = metric.value;
+    max_x = std::max({max_x, l.fx, l.tx});
+    max_y = std::max({max_y, l.fy, l.ty});
+    peak = std::max(peak, l.busy);
+    links.push_back(l);
+  }
+  if (links.empty()) return;
+  constexpr double kTile = 90.0;
+  constexpr double kPad = 30.0;
+  const double w = kPad * 2 + kTile * (max_x + 1);
+  const double h = kPad * 2 + kTile * (max_y + 1);
+  // y grows upward in mesh coordinates; flip for SVG.
+  const auto cx = [&](int x) { return kPad + kTile * x + kTile / 2; };
+  const auto cy = [&](int y) { return h - (kPad + kTile * y + kTile / 2); };
+  os << "<svg width='" << fp(w) << "' height='" << fp(h) << "' viewBox='0 0 "
+     << fp(w) << ' ' << fp(h) << "'>\n";
+  for (const auto& l : links) {
+    const double share =
+        peak == 0 ? 0.0
+                  : static_cast<double>(l.busy) / static_cast<double>(peak);
+    // Perpendicular offset separates the two directions of each edge.
+    const double dx = static_cast<double>(l.tx - l.fx);
+    const double dy = static_cast<double>(l.ty - l.fy);
+    const double ox = dy * 6.0;
+    const double oy = dx * 6.0;
+    os << "<line x1='" << fp(cx(l.fx) + ox) << "' y1='" << fp(cy(l.fy) + oy)
+       << "' x2='" << fp(cx(l.tx) + ox) << "' y2='" << fp(cy(l.ty) + oy)
+       << "' stroke='" << heat_color(share) << "' stroke-width='8'>"
+       << "<title>(" << l.fx << ',' << l.fy << ")-&gt;(" << l.tx << ','
+       << l.ty << ") busy " << fp(static_cast<double>(l.busy) * 1e-9)
+       << " us</title></line>\n";
+  }
+  for (int y = 0; y <= max_y; ++y) {
+    for (int x = 0; x <= max_x; ++x) {
+      os << "<rect x='" << fp(cx(x) - 18) << "' y='" << fp(cy(y) - 14)
+         << "' width='36' height='28' rx='4' fill='#f0f0f0'"
+         << " stroke='#888'/>\n";
+      os << "<text x='" << fp(cx(x)) << "' y='" << fp(cy(y) + 4)
+         << "' text-anchor='middle' font-size='11'>" << x << ',' << y
+         << "</text>\n";
+    }
+  }
+  os << "</svg>\n";
+}
+
+void write_histogram_table(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, Histogram>>& histograms) {
+  os << "<table><tr><th>variant</th><th>count</th><th>min us</th>"
+     << "<th>mean us</th><th>p50 us</th><th>p90 us</th><th>p99 us</th>"
+     << "<th>p999 us</th><th>max us</th></tr>\n";
+  const auto us = [](std::uint64_t fs) {
+    return fp(static_cast<double>(fs) * 1e-9);
+  };
+  for (const auto& [label, hist] : histograms) {
+    os << "<tr><td>" << html_escape(label) << "</td><td>" << hist.count()
+       << "</td>";
+    if (hist.empty()) {
+      os << "<td colspan='7'>no samples</td></tr>\n";
+      continue;
+    }
+    os << "<td>" << us(hist.min()) << "</td><td>" << fp(hist.mean() * 1e-9)
+       << "</td><td>" << us(hist.value_at_quantile(0.50)) << "</td><td>"
+       << us(hist.value_at_quantile(0.90)) << "</td><td>"
+       << us(hist.value_at_quantile(0.99)) << "</td><td>"
+       << us(hist.value_at_quantile(0.999)) << "</td><td>" << us(hist.max())
+       << "</td></tr>\n";
+  }
+  os << "</table>\n";
+}
+
+}  // namespace
+
+void ObsReport::write_html(std::ostream& os) const {
+  os << "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>\n<title>"
+     << html_escape(title) << "</title>\n<style>\n"
+     << "body{font-family:sans-serif;margin:24px;max-width:1000px}\n"
+     << "h1{font-size:20px}h2{font-size:16px;border-bottom:1px solid #ccc;"
+     << "padding-bottom:4px}h3{font-size:13px;margin:8px 0 2px}\n"
+     << "table{border-collapse:collapse;font-size:12px}\n"
+     << "td,th{border:1px solid #bbb;padding:3px 8px;text-align:right}\n"
+     << "th{background:#eee}td:first-child,th:first-child{text-align:left}\n"
+     << "pre{background:#f6f6f6;padding:8px;font-size:11px;overflow-x:auto}\n"
+     << ".spark{margin:2px 0}.sparklabel{display:inline-block;width:260px;"
+     << "font-size:11px;vertical-align:top}\n"
+     << "</style></head><body>\n<h1>" << html_escape(title) << "</h1>\n";
+
+  if (!histograms.empty()) {
+    os << "<h2>Latency histograms</h2>\n";
+    write_histogram_table(os, histograms);
+  }
+
+  for (const auto& [label, ts] : timeseries) {
+    os << "<h2>Flight recorder: " << html_escape(label) << "</h2>\n";
+    os << "<p class='meta'>" << ts.rows.size() << " samples, base interval "
+       << fp(ts.interval.us()) << " us, " << ts.decimations
+       << " decimation(s), " << ts.ticks << " tick(s)</p>\n";
+    for (std::size_t c = 0; c < ts.columns.size(); ++c) {
+      write_sparkline(os, ts, c);
+    }
+  }
+
+  for (const auto& [label, reg] : metrics) {
+    os << "<h2>Link utilization: " << html_escape(label) << "</h2>\n";
+    write_link_heatmap(os, reg);
+  }
+
+  for (const auto& [label, text] : blame_texts) {
+    os << "<h2>Critical-path blame: " << html_escape(label) << "</h2>\n";
+    os << "<pre>" << html_escape(text) << "</pre>\n";
+  }
+
+  os << "</body></html>\n";
+}
+
+}  // namespace scc::metrics

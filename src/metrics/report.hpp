@@ -1,0 +1,44 @@
+// Self-contained HTML observability report.
+//
+// bench/obs_report fuses the three observability artifacts -- flight
+// recorder timeseries (Sampler), tail-latency histograms (Histogram), and
+// critical-path blame (analyze_blame) -- into one HTML file a person can
+// open with no toolchain: all styling is inline CSS and every chart is an
+// inline SVG (sparklines per sampled column, a mesh-link utilization
+// heatmap from "noc/link/<name>/busy_fs" registry paths).
+//
+// Determinism: the writer emits no timestamps, hostnames or environment --
+// the bytes are a pure function of the inputs, so the report is
+// byte-identical across --jobs values (pinned by the obs tier's golden
+// smoke test).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "metrics/histogram.hpp"
+#include "metrics/registry.hpp"
+#include "metrics/sampler.hpp"
+
+namespace scc::metrics {
+
+/// One report section per collective variant; any vector may be empty
+/// (sections render only for what is present).
+struct ObsReport {
+  std::string title;
+  /// (variant label, sampled series) in presentation order.
+  std::vector<std::pair<std::string, TimeSeries>> timeseries;
+  /// (variant label, latency histogram in femtoseconds).
+  std::vector<std::pair<std::string, Histogram>> histograms;
+  /// (variant label, preformatted blame text from BlameReport::print).
+  std::vector<std::pair<std::string, std::string>> blame_texts;
+  /// (variant label, final registry snapshot) -- source of the link heatmap
+  /// and the summary counter table.
+  std::vector<std::pair<std::string, MetricsRegistry>> metrics;
+
+  void write_html(std::ostream& os) const;
+};
+
+}  // namespace scc::metrics

@@ -75,8 +75,43 @@ void Engine::spawn(Task<> task, std::string name) {
   push_event(now_, roots_.back().task.native_handle(), {});
 }
 
+void Engine::set_probe(SimTime interval, std::function<void(SimTime)> fn) {
+  SCC_EXPECTS(!running_);
+  SCC_EXPECTS(interval > SimTime::zero());
+  SCC_EXPECTS(static_cast<bool>(fn));
+  probe_interval_ = interval;
+  const SimTime headroom = SimTime::max() - now_;
+  probe_due_ = interval > headroom ? SimTime::max() : now_ + interval;
+  probe_ = std::move(fn);
+}
+
+void Engine::clear_probe() {
+  SCC_EXPECTS(!running_);
+  probe_due_ = SimTime::max();
+  probe_interval_ = SimTime::zero();
+  probe_ = nullptr;
+}
+
+void Engine::fire_probe(SimTime limit) {
+  // Every tick instant <= the event about to run fires, in order, with
+  // now() pinned at the tick instant -- the probe observes exactly the
+  // state produced by events strictly before the tick. The cadence
+  // saturates: a tick that would overflow SimTime lands on max(), which the
+  // loop guard treats as "no further ticks" (an event clamped at max() is
+  // still covered by `<= limit` on the prior ticks).
+  while (probe_due_ <= limit && probe_due_ < SimTime::max()) {
+    const SimTime at = probe_due_;
+    const SimTime headroom = SimTime::max() - probe_due_;
+    probe_due_ = probe_interval_ > headroom ? SimTime::max()
+                                            : probe_due_ + probe_interval_;
+    now_ = at;
+    probe_(at);
+  }
+}
+
 void Engine::dispatch(Event ev) {
   SCC_ASSERT(ev.when >= now_);
+  if (ev.when >= probe_due_) fire_probe(ev.when);
   now_ = ev.when;
   ++events_processed_;
   if (ev.handle) {

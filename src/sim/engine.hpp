@@ -17,6 +17,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -100,6 +101,19 @@ class Engine {
       trace_->instant(trace::kEnginePid, "waitqueue", "notify", now_, detail);
     }
   }
+
+  /// Installs a deterministic cadence probe: `fn` fires exactly at the
+  /// virtual instants now() + interval, now() + 2 * interval, ... -- each
+  /// call made after every event with timestamp < the tick instant has been
+  /// processed and before any event with timestamp >= it runs, with `t`
+  /// being the exact tick instant (now() reads `t` during the call). Ticks
+  /// with no later event pending never fire (the series ends at the last
+  /// event), and the cadence saturates at SimTime::max(). The probe must be
+  /// purely observational: it may read state but must not schedule events,
+  /// and it adds one branch per dispatched event when idle. Replaces any
+  /// previous probe.
+  void set_probe(SimTime interval, std::function<void(SimTime)> fn);
+  void clear_probe();
 
   /// Resume `h` at absolute time `when` (must be >= now()).
   void schedule_resume(SimTime when, std::coroutine_handle<> h);
@@ -208,6 +222,7 @@ class Engine {
 
   void dispatch(Event ev);
   void push_event(SimTime when, std::coroutine_handle<> h, SmallCallable fn);
+  void fire_probe(SimTime limit);
 
   MoveHeap<Event, std::greater<>> queue_;
   std::vector<Root> roots_;
@@ -219,6 +234,12 @@ class Engine {
   std::optional<PerturbConfig> perturb_;
   Xoshiro256 perturb_rng_;
   trace::Recorder* trace_ = nullptr;
+  // Cadence probe (set_probe). probe_due_ == SimTime::max() doubles as the
+  // "no probe" sentinel, so the dispatch hot path pays exactly one compare
+  // when sampling is off.
+  SimTime probe_due_ = SimTime::max();
+  SimTime probe_interval_ = SimTime::zero();
+  std::function<void(SimTime)> probe_;
 };
 
 }  // namespace scc::sim

@@ -19,7 +19,8 @@ PdesEngine::PdesEngine(PdesConfig config)
     : config_(config),
       outboxes_(static_cast<std::size_t>(config.partitions) *
                 static_cast<std::size_t>(config.partitions)),
-      pool_(std::min(std::max(config.workers, 1), config.partitions)) {
+      pool_(std::min(std::max(config.workers, 1), config.partitions),
+            config.instrument_workers) {
   SCC_EXPECTS(config.partitions >= 1);
   SCC_EXPECTS(config.workers >= 1);
   SCC_EXPECTS(config.lookahead > SimTime::zero());
@@ -48,6 +49,7 @@ void PdesEngine::flush_outboxes(SimTime floor) {
   // Fixed (target, source, FIFO) order: the target engine's sequence
   // counters advance identically for every worker count -- this is the
   // deterministic merge that keeps the whole drain bit-identical to serial.
+  std::uint64_t merged = 0;
   for (int target = 0; target < partitions(); ++target) {
     Engine& engine = *engines_[static_cast<std::size_t>(target)];
     for (int source = 0; source < partitions(); ++source) {
@@ -62,12 +64,21 @@ void PdesEngine::flush_outboxes(SimTime floor) {
         // cross-partition interaction -- a correctness bug, not a timing
         // detail, so it aborts.
         SCC_EXPECTS(pending.when >= floor);
+        // Slack introspection (in-window merges only: the pre-run flush has
+        // no conservative floor and would report meaningless huge slack).
+        if (floor > SimTime::zero()) {
+          const SimTime slack = pending.when - floor;
+          if (slack == SimTime::zero()) ++stats_.posts_at_floor;
+          stats_.min_post_slack = std::min(stats_.min_post_slack, slack);
+        }
         engine.schedule_call(pending.when, std::move(pending.fn));
         ++stats_.posts_delivered;
+        ++merged;
       }
       box.clear();
     }
   }
+  stats_.max_window_posts = std::max(stats_.max_window_posts, merged);
 }
 
 void PdesEngine::run() {
@@ -95,6 +106,7 @@ void PdesEngine::run() {
     if (horizon == SimTime::max()) {
       // Saturated horizon: drain_until's strict < would strand events
       // clamped exactly at SimTime::max(); the unbounded drain takes them.
+      ++stats_.saturated_windows;
       pool_.run_round(num, [&](std::size_t p) { engines_[p]->drain(); });
     } else {
       pool_.run_round(
@@ -103,6 +115,12 @@ void PdesEngine::run() {
     stats_.max_window_events =
         std::max(stats_.max_window_events, events_processed() - before);
     flush_outboxes(horizon);
+    if (window_probe_) {
+      // Coordinator thread, between rounds: workers are parked, so the probe
+      // may read any partition's counters. A saturated horizon is reported
+      // as the actual end time (max() would be a useless timestamp).
+      window_probe_(horizon == SimTime::max() ? now() : horizon);
+    }
   }
 
   // Root bookkeeping in partition order: deadlock diagnostics and the

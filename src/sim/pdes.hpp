@@ -47,6 +47,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -69,14 +70,31 @@ struct PdesConfig {
   /// cross-partition interaction. Must be > 0 (zero lookahead would make
   /// windows empty and the drain unable to progress).
   SimTime lookahead;
+  /// Enables host wall-clock instrumentation on the worker pool (per-worker
+  /// busy/park/barrier-wait time; see exec::WorkerPoolStats). Purely
+  /// observational overhead -- never changes simulated results -- but the
+  /// timers themselves are nondeterministic, so keep them out of
+  /// determinism-gated artifacts.
+  bool instrument_workers = false;
 };
 
 /// Coordinator-side counters (windows are a PDES-only concept; per-partition
-/// engine counters live in the partition engines).
+/// engine counters live in the partition engines). Every field is a pure
+/// function of the window protocol's deterministic schedule: identical for
+/// any worker count (the identity tests diff artifacts built from these).
 struct PdesStats {
   std::uint64_t windows = 0;          // barrier rounds executed
   std::uint64_t posts_delivered = 0;  // cross-partition events merged
   std::uint64_t max_window_events = 0;  // busiest window (all partitions)
+  std::uint64_t saturated_windows = 0;  // windows with horizon at max()
+  std::uint64_t max_window_posts = 0;   // busiest single merge
+  /// Posts merged with when exactly at the window horizon -- the tightest
+  /// legal case of the conservative contract (slack zero).
+  std::uint64_t posts_at_floor = 0;
+  /// Minimum (when - horizon) over every in-window post: how close the
+  /// workload comes to violating the lookahead. SimTime::max() until the
+  /// first in-window post is merged.
+  SimTime min_post_slack = SimTime::max();
 };
 
 class PdesEngine {
@@ -127,6 +145,23 @@ class PdesEngine {
 
   [[nodiscard]] const PdesStats& stats() const { return stats_; }
 
+  /// Worker-pool execution counters (host-side; see WorkerPoolStats for
+  /// what is deterministic and what is wall-clock).
+  [[nodiscard]] exec::WorkerPoolStats worker_stats() const {
+    return pool_.pool_stats();
+  }
+
+  /// Installs a barrier-cadence probe: `fn` fires once per window, after the
+  /// window's outboxes merged, with the window horizon (the drain's
+  /// deterministic virtual-time frontier; now() for the saturated final
+  /// window). This is the PDES analogue of Engine::set_probe -- it runs on
+  /// the coordinator thread between rounds, so a sampler ticked from it may
+  /// read any partition's counters without racing workers. Must be purely
+  /// observational. Replaces any previous probe; empty function clears.
+  void set_window_probe(std::function<void(SimTime)> fn) {
+    window_probe_ = std::move(fn);
+  }
+
  private:
   struct Pending {
     SimTime when;
@@ -143,6 +178,7 @@ class PdesEngine {
   std::vector<std::vector<Pending>> outboxes_;
   exec::WorkerPool pool_;
   PdesStats stats_;
+  std::function<void(SimTime)> window_probe_;
 };
 
 }  // namespace scc::sim

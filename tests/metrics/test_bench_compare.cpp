@@ -82,6 +82,62 @@ TEST(BenchCompare, MissingColumnIsCoverageLoss) {
   EXPECT_FALSE(outcome.ok());
 }
 
+/// A bench doc whose table is stable but whose --hist block moves: the
+/// histogram gate must judge the quantiles independently of the rows.
+JsonValue hist_doc(double p99_us) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"scc-bench-v1\",\n  \"name\": \"fig9f_allreduce\",\n"
+     << "  \"rows\": [\n    {\"elements\": 552, \"blocking_us\": 100.0}\n  ],\n"
+     << "  \"histograms\": {\"blocking\": {\"count\": 4, \"p50_us\": 90.0, "
+     << "\"p99_us\": " << json_number(p99_us) << "}}\n}\n";
+  return parse_json(os.str());
+}
+
+TEST(BenchCompare, HistogramQuantilesAreGatedTwoSided) {
+  CompareOptions options;
+  options.rel_tol = 0.05;
+  EXPECT_TRUE(compare_bench(hist_doc(100.0), hist_doc(102.0), options).ok());
+  // A drifting tail trips the gate in either direction, regardless of the
+  // table gate's one-sided default.
+  EXPECT_FALSE(compare_bench(hist_doc(100.0), hist_doc(111.0), options).ok());
+  EXPECT_FALSE(compare_bench(hist_doc(100.0), hist_doc(89.0), options).ok());
+}
+
+TEST(BenchCompare, HistogramFieldsCountAsComparedValues) {
+  const CompareOutcome outcome =
+      compare_bench(hist_doc(100.0), hist_doc(100.0), CompareOptions{});
+  EXPECT_TRUE(outcome.ok());
+  // 1 row cell + count/p50_us/p99_us from the histogram block.
+  EXPECT_EQ(outcome.values_compared, 4);
+}
+
+TEST(BenchCompare, HistogramMissingFromCurrentIsCoverageLoss) {
+  // Baseline was recorded with --hist; a current run without it silently
+  // un-gates the tail, so the compare fails closed.
+  const CompareOutcome outcome = compare_bench(
+      hist_doc(100.0), bench_doc(100.0, 70.0), CompareOptions{});
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST(BenchCompare, BaselineWithoutHistogramsSkipsTheGate) {
+  // Pre---hist baselines keep their historical bytes and semantics: a
+  // current run that happens to carry the block is not an error.
+  const CompareOutcome outcome = compare_bench(
+      bench_doc(100.0, 70.0), hist_doc(100.0), CompareOptions{});
+  // The table itself lost the ircce_us column, so coverage fails -- but
+  // against a matching table the extra block is ignored.
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_TRUE(
+      compare_bench(hist_doc(100.0), hist_doc(100.0), CompareOptions{}).ok());
+  Table plain({"elements", "blocking_us"});
+  plain.add_row({"552", "100.0"});
+  std::ostringstream os;
+  plain.write_json(os, "fig9f_allreduce");
+  EXPECT_TRUE(compare_bench(parse_json(os.str()), hist_doc(100.0),
+                            CompareOptions{})
+                  .ok());
+}
+
 TEST(BenchCompare, CorruptCurrentFailsClosed) {
   const std::string dir = testing::TempDir();
   const std::string baseline_path = dir + "/baseline.json";

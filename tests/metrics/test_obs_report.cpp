@@ -1,0 +1,99 @@
+// Golden smoke of the fused observability report (metrics/report.hpp):
+// the HTML is self-contained (inline CSS + SVG, no external fetches, no
+// timestamps), renders every section that has data, escapes what it
+// embeds, and is byte-deterministic.
+#include "metrics/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "metrics/histogram.hpp"
+#include "metrics/registry.hpp"
+#include "metrics/sampler.hpp"
+
+namespace scc::metrics {
+namespace {
+
+ObsReport golden_report() {
+  ObsReport report;
+  report.title = "allreduce n=96 <golden>";
+
+  TimeSeries ts;
+  ts.label = "lw-balanced";
+  ts.interval = SimTime{1'000'000'000};
+  ts.ticks = 3;
+  ts.columns = {"engine/events_processed", "noc/lines_sent"};
+  ts.rows = {{SimTime{1'000'000'000}, {10, 2}},
+             {SimTime{2'000'000'000}, {25, 5}},
+             {SimTime{3'000'000'000}, {70, 9}}};
+  report.timeseries.emplace_back("lw-balanced", ts);
+
+  Histogram hist;
+  for (const std::uint64_t v : {1'000'000'000ULL, 1'200'000'000ULL,
+                                1'500'000'000ULL, 9'000'000'000ULL}) {
+    hist.record(v);
+  }
+  report.histograms.emplace_back("lw-balanced", std::move(hist));
+  report.histograms.emplace_back("empty-variant", Histogram{});
+
+  MetricsRegistry reg;
+  reg.set("noc/link/(0,0)->(1,0)/busy_fs", 5'000'000'000ULL);
+  reg.set("noc/link/(1,0)->(0,0)/busy_fs", 1'000'000'000ULL);
+  reg.set("noc/link/(0,0)->(0,1)/busy_fs", 2'500'000'000ULL);
+  reg.set("unrelated/counter", 7);
+  report.metrics.emplace_back("lw-balanced", reg);
+
+  report.blame_texts.emplace_back(
+      "lw-balanced", "61.0% flag-wait core 17\n12.0% link-queue <mesh>\n");
+  return report;
+}
+
+std::string html_of(const ObsReport& report) {
+  std::ostringstream os;
+  report.write_html(os);
+  return os.str();
+}
+
+TEST(ObsReport, RendersEverySectionSelfContained) {
+  const std::string html = html_of(golden_report());
+  // Envelope and inline style only -- nothing external to fetch.
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(html.find("<style>"), std::string::npos);
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+  // Title is escaped, not embedded raw.
+  EXPECT_NE(html.find("allreduce n=96 &lt;golden&gt;"), std::string::npos);
+  EXPECT_EQ(html.find("<golden>"), std::string::npos);
+  // Histogram table with quantile columns; the empty variant degrades.
+  EXPECT_NE(html.find("p999 us"), std::string::npos);
+  EXPECT_NE(html.find("no samples"), std::string::npos);
+  // One sparkline SVG per column.
+  EXPECT_NE(html.find("engine/events_processed (peak 70)"),
+            std::string::npos);
+  EXPECT_NE(html.find("noc/lines_sent (peak 9)"), std::string::npos);
+  EXPECT_NE(html.find("<polygon points="), std::string::npos);
+  // Heatmap: three parsed links, escaped tooltips, tile labels.
+  EXPECT_NE(html.find("(0,0)-&gt;(1,0) busy 5.00 us"), std::string::npos);
+  EXPECT_NE(html.find("(0,0)-&gt;(0,1) busy 2.50 us"), std::string::npos);
+  // Blame text is escaped into a <pre> block.
+  EXPECT_NE(html.find("link-queue &lt;mesh&gt;"), std::string::npos);
+}
+
+TEST(ObsReport, OutputIsByteDeterministic) {
+  EXPECT_EQ(html_of(golden_report()), html_of(golden_report()));
+}
+
+TEST(ObsReport, EmptyReportOmitsSections) {
+  ObsReport report;
+  report.title = "empty";
+  const std::string html = html_of(report);
+  EXPECT_EQ(html.find("<h2>"), std::string::npos);
+  EXPECT_EQ(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("</body></html>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scc::metrics
