@@ -28,6 +28,12 @@
 //                       registration order, so every output byte -- tables,
 //                       CSV, JSON, metrics -- is identical to --jobs=1.
 //                       --blame shares one trace recorder and forces serial.
+//   --workers=N      -- conservative-PDES drain threads INSIDE each point's
+//                       simulated machine (harness::RunSpec::pdes_workers;
+//                       N >= 1; default: serial machines). Orthogonal to
+//                       --jobs, and every (jobs, workers) combination
+//                       produces byte-identical CSV/JSON/metrics artifacts
+//                       -- only host wall-clock changes.
 //   --algo=<name|auto> -- run the swept collective under this algorithm
 //                       (coll/algos.hpp) on the Stack-based variants;
 //                       RCKMPI and MPB keep their own schedule, so the
@@ -118,6 +124,7 @@ struct BenchOptions {
   bool blame = false;
   bool hist = false;  // --hist: per-variant latency histograms in the JSON
   int jobs = 0;  // 0: exec::default_jobs() (hardware concurrency)
+  int workers = 0;  // --workers: PDES threads per machine; 0 = serial
   std::optional<coll::Algo> algo;  // --algo: unset = paper algorithm
 };
 
@@ -162,28 +169,31 @@ inline std::string histogram_members() {
   return ss.str();
 }
 
-/// Strict --jobs value parse shared by the bench CLIs: one positive
-/// decimal integer; 0, signs, garbage or overflow abort with exit code 2
-/// (the hardened get_int discipline -- a mistyped --jobs=1O must not
-/// silently serialize or fork wildly).
-inline int parse_jobs_value(std::string_view value) {
+/// Strict thread-count value parse shared by the bench CLIs' --jobs and
+/// --workers: one positive decimal integer; 0, signs, garbage or overflow
+/// abort with exit code 2 (the hardened get_int discipline -- a mistyped
+/// --jobs=1O must not silently serialize or fork wildly).
+inline int parse_thread_count_value(const char* flag, std::string_view value) {
   const std::string v(value);
-  if (v.empty() || v[0] == '-' || v[0] == '+') {
-    std::fprintf(stderr, "error: --jobs='%s' is not a positive integer\n",
+  const auto fail = [&] {
+    std::fprintf(stderr, "error: %s='%s' is not a positive integer\n", flag,
                  v.c_str());
     std::exit(2);
-  }
+  };
+  if (v.empty() || v[0] == '-' || v[0] == '+') fail();
   errno = 0;
   char* end = nullptr;
   const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
   if (end == v.c_str() || *end != '\0' || errno == ERANGE || parsed == 0 ||
       parsed > static_cast<unsigned long long>(
                    std::numeric_limits<int>::max())) {
-    std::fprintf(stderr, "error: --jobs='%s' is not a positive integer\n",
-                 v.c_str());
-    std::exit(2);
+    fail();
   }
   return static_cast<int>(parsed);
+}
+
+inline int parse_jobs_value(std::string_view value) {
+  return parse_thread_count_value("--jobs", value);
 }
 
 /// Strips --metrics=<path>, --blame and --jobs=N from argv
@@ -210,6 +220,10 @@ inline void parse_instrumentation_flags(int& argc, char** argv) {
     }
     if (arg.rfind("--jobs=", 0) == 0) {
       options().jobs = parse_jobs_value(arg.substr(7));
+      continue;
+    }
+    if (arg.rfind("--workers=", 0) == 0) {
+      options().workers = parse_thread_count_value("--workers", arg.substr(10));
       continue;
     }
     if (arg.rfind("--algo=", 0) == 0) {
@@ -310,6 +324,7 @@ inline harness::RunSpec point_spec(harness::Collective coll,
   spec.warmup = 1;
   spec.verify = false;
   spec.collect_metrics = !options().metrics_path.empty();
+  spec.pdes_workers = options().workers;
   // --algo targets the Stack-based variants; RCKMPI and the MPB-direct
   // path have no algorithm dimension and keep their own schedule.
   if (options().algo && variant != harness::PaperVariant::kRckmpi &&

@@ -15,6 +15,11 @@
 //                       conservative-PDES engine with 1 worker and then
 //                       with --jobs workers; the ratio is the intra-run
 //                       parallel speedup (same virtual run, same bytes).
+//   coll_allreduce_* -- the spotlight Allreduce on the serial machine, on
+//                       the partitioned machine with 1 PDES worker (the
+//                       pure partitioning overhead, gated <= 1.5x serial
+//                       by selfperf_smoke.cmake), and with --jobs workers
+//                       (the collective-workload intra-run speedup).
 //
 //   selfperf [--events=N] [--from=A] [--to=B] [--step=S] [--reps=K]
 //            [--jobs=N] [--pdes-steps=N]
@@ -257,6 +262,52 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    // Scenarios 9-11: the full collective workload on the PARTITIONED
+    // machine -- the same spotlight Allreduce as scenario 2, but with the
+    // machine sharded into column slabs and drained by the
+    // conservative-PDES engine. The workers1 row is the pure partitioning
+    // overhead (cross-posts, window barriers, merged shards) with no
+    // parallelism to pay for it; it is gated against the serial row by
+    // selfperf_smoke.cmake (<= 1.5x) and against its committed baseline.
+    // The workersN row is the host-dependent intra-run speedup (reported,
+    // not gated; recorded in EXPERIMENTS.md).
+    scc::harness::RunSpec coll;
+    coll.collective = scc::harness::Collective::kAllreduce;
+    coll.variant = scc::harness::PaperVariant::kLwBalanced;
+    coll.elements = 552;
+    coll.repetitions = reps;
+    coll.warmup = 0;
+    coll.verify = false;
+    double coll_serial_ms = 0.0;
+    double coll_workers_ms = 0.0;
+    {
+      coll.pdes_workers = 0;
+      const auto t0 = Clock::now();
+      const scc::harness::RunResult result =
+          scc::harness::run_collective(coll);
+      coll_serial_ms = ms_since(t0);
+      rows.push_back(Row{"coll_allreduce_serial", result.events,
+                         coll_serial_ms, /*gated=*/true});
+    }
+    {
+      coll.pdes_workers = 1;
+      const auto t0 = Clock::now();
+      const scc::harness::RunResult result =
+          scc::harness::run_collective(coll);
+      rows.push_back(Row{"coll_allreduce_workers1", result.events,
+                         ms_since(t0), /*gated=*/true});
+    }
+    {
+      coll.pdes_workers = resolved_jobs;
+      const auto t0 = Clock::now();
+      const scc::harness::RunResult result =
+          scc::harness::run_collective(coll);
+      coll_workers_ms = ms_since(t0);
+      rows.push_back(
+          Row{scc::strprintf("coll_allreduce_workers%d", resolved_jobs),
+              result.events, coll_workers_ms, /*gated=*/false});
+    }
+
     scc::Table table(
         {"scenario", "events", "wall_ms", "ns_per_event", "Mevents_per_s"});
     for (const Row& r : rows) {
@@ -289,6 +340,12 @@ int main(int argc, char** argv) {
         resolved_jobs,
         pdes_workers_ms > 0.0 ? pdes_serial_ms / pdes_workers_ms : 0.0,
         pdes_serial_ms, pdes_workers_ms);
+    std::cout << scc::strprintf(
+        "collective pdes speedup with %d worker(s): %.2fx "
+        "(%.0f ms serial machine -> %.0f ms partitioned)\n",
+        resolved_jobs,
+        coll_workers_ms > 0.0 ? coll_serial_ms / coll_workers_ms : 0.0,
+        coll_serial_ms, coll_workers_ms);
 
     std::filesystem::create_directories("bench_results");
     table.write_csv_file("bench_results/selfperf.csv");

@@ -59,6 +59,36 @@ if(workers_tenths GREATER "${pdes_budget_tenths}")
     "window/barrier overhead regressed")
 endif()
 
+# Collective-workload partitioning overhead gate: the same Allreduce on
+# the partitioned machine with ONE pdes worker must stay within 1.5x of
+# the serial machine. This bounds what every partitioned run pays before
+# parallelism earns anything back: cross-partition posts, window barriers,
+# per-slab shard merges. Host-shape independent (both rows are single
+# threaded).
+set(coll_serial_ms "")
+set(coll_workers1_ms "")
+foreach(row IN LISTS selfperf_rows)
+  if(row MATCHES "^coll_allreduce_serial,[0-9]+,([0-9.]+),")
+    set(coll_serial_ms "${CMAKE_MATCH_1}")
+  elseif(row MATCHES "^coll_allreduce_workers1,[0-9]+,([0-9.]+),")
+    set(coll_workers1_ms "${CMAKE_MATCH_1}")
+  endif()
+endforeach()
+if(coll_serial_ms STREQUAL "" OR coll_workers1_ms STREQUAL "")
+  message(FATAL_ERROR "selfperf.csv is missing the coll_allreduce rows")
+endif()
+string(REGEX REPLACE "^([0-9]+)\\.([0-9]).*" "\\1\\2" coll_serial_tenths
+  "${coll_serial_ms}")
+string(REGEX REPLACE "^([0-9]+)\\.([0-9]).*" "\\1\\2" coll_workers1_tenths
+  "${coll_workers1_ms}")
+math(EXPR coll_budget_tenths "(${coll_serial_tenths} * 15) / 10")
+if(coll_workers1_tenths GREATER "${coll_budget_tenths}")
+  message(FATAL_ERROR
+    "coll_allreduce_workers1 took ${coll_workers1_ms} ms against "
+    "${coll_serial_ms} ms on the serial machine (> 1.5x): the partitioned "
+    "machine's cross-post/window overhead regressed")
+endif()
+
 execute_process(
   COMMAND "${COMPARE}"
     "--baseline=${BASELINE}"

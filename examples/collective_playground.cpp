@@ -10,7 +10,7 @@
 //                         [--algo=ring|bruck|recursive-doubling|
 //                           recursive-halving|ring-rs|pairwise|auto]
 //                         [--elements=N] [--reps=K] [--mesh=6x4] [--no-bug]
-//                         [--faults=SPEC] [--jobs=N] [--profile]
+//                         [--faults=SPEC] [--jobs=N] [--workers=N] [--profile]
 //                         [--trace=out.json] [--metrics=out.json] [--blame]
 //                         [--sample=INTERVAL_US] [--sample-out=PREFIX]
 //                         [--hist]
@@ -48,6 +48,11 @@
 // for every N). The per-run instrumentation flags (--trace, --metrics,
 // --blame, --profile) and --algo target a single run and are rejected in
 // this mode.
+//
+// --workers=N drains each simulated machine itself on N conservative-PDES
+// threads (harness::RunSpec::pdes_workers; default: serial machine).
+// Allowed in both single-run and --variant=all mode, composes with --jobs,
+// and every simulated result is identical for every N >= 1.
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -101,6 +106,7 @@ int main(int argc, char** argv) {
     const std::string variant_flag = flags.get("variant", "lw-balanced");
     const bool all_variants = variant_flag == "all";
     const int jobs = exec::jobs_flag(flags);
+    spec.pdes_workers = exec::workers_flag(flags);
     if (!all_variants) spec.variant = parse_variant(variant_flag);
     const std::string algo_flag = flags.get("algo", "");
     if (!algo_flag.empty()) {

@@ -17,10 +17,6 @@ std::uint8_t next_seq(std::uint8_t& counter) {
   return counter;
 }
 
-void window_to_vec(std::span<const std::byte> window, std::span<double> out) {
-  std::memcpy(out.data(), window.data(), out.size_bytes());
-}
-
 void vec_to_window(std::span<const double> in, std::span<std::byte> window) {
   std::memcpy(window.data(), in.data(), in.size_bytes());
 }
@@ -105,12 +101,13 @@ sim::Task<> MpbAllreduce::run(std::span<const double> in,
     co_await await_remote_filled(prev);
     co_await acquire_local_buffer(cur);
     // Operand 1 streams straight from the left neighbour's MPB, word by
-    // word into the FP pipeline (no optimized burst memcpy on this path)...
-    co_await api.mpb_word_charge(left, b.count * sizeof(double),
-                                 /*is_read=*/true);
-    window_to_vec(api.mpb_window(buf_addr(left, prev, g),
-                                 b.count * sizeof(double)),
-                  std::span<double>(scratch.data(), b.count));
+    // word into the FP pipeline (no optimized burst memcpy on this path).
+    // The fused read routes the copy through the neighbour's partition
+    // when the ring crosses a slab boundary (serial: bit-identical to the
+    // old word-charge + window idiom).
+    co_await api.mpb_word_get(
+        buf_addr(left, prev, g),
+        std::as_writable_bytes(std::span<double>(scratch.data(), b.count)));
     // ... operand 2 is the local input vector's block ...
     co_await api.priv_read(in.data() + b.offset, b.count * sizeof(double));
     {
@@ -160,11 +157,9 @@ sim::Task<> MpbAllreduce::run(std::span<const double> in,
     const Block& b =
         blocks[static_cast<std::size_t>(((rank - round + 1) % p + p) % p)];
     co_await await_remote_filled(prev);
-    co_await api.mpb_word_charge(left, b.count * sizeof(double),
-                                 /*is_read=*/true);
-    window_to_vec(api.mpb_window(buf_addr(left, prev, g),
-                                 b.count * sizeof(double)),
-                  std::span<double>(scratch.data(), b.count));
+    co_await api.mpb_word_get(
+        buf_addr(left, prev, g),
+        std::as_writable_bytes(std::span<double>(scratch.data(), b.count)));
     co_await api.priv_write(out.data() + b.offset, b.count * sizeof(double));
     std::copy_n(scratch.data(), b.count, out.data() + b.offset);
     if (round < p - 1) {

@@ -1,6 +1,7 @@
 #include "common/cli.hpp"
 
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 namespace scc {
@@ -70,6 +71,16 @@ double CliFlags::get_double(const std::string& name, double fallback) const {
     throw std::runtime_error("flag --" + name + " expects a number, got '" +
                              it->second.first + "'");
   return v;
+}
+
+int CliFlags::get_positive_int(const std::string& name, int fallback) const {
+  if (!has(name)) return fallback;
+  const std::int64_t v = get_int(name, 0);
+  if (v < 1 || v > std::numeric_limits<int>::max())
+    throw std::runtime_error("--" + name +
+                             " must be a positive integer, got " +
+                             std::to_string(v));
+  return static_cast<int>(v);
 }
 
 bool CliFlags::get_bool(const std::string& name, bool fallback) const {

@@ -32,6 +32,12 @@ class CliFlags {
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+  /// Strict positive-integer flag shared by thread-count flags (--jobs,
+  /// --workers): absent -> `fallback`; present -> must be an integer >= 1.
+  /// Rejects 0, negatives and garbage with "--name must be a positive
+  /// integer, got V" / get_int's "expects an integer" error.
+  [[nodiscard]] int get_positive_int(const std::string& name,
+                                     int fallback) const;
 
   [[nodiscard]] const std::vector<std::string>& positionals() const {
     return positionals_;

@@ -57,12 +57,13 @@ int resolve_jobs(int jobs) {
 }
 
 int jobs_flag(const CliFlags& flags) {
-  if (!flags.has("jobs")) return 0;  // auto: default_jobs() at the executor
-  const std::int64_t jobs = flags.get_int("jobs", 0);
-  if (jobs < 1 || jobs > std::numeric_limits<int>::max())
-    throw std::runtime_error("--jobs must be a positive integer, got " +
-                             std::to_string(jobs));
-  return static_cast<int>(jobs);
+  // auto (absent) = 0: default_jobs() at the executor.
+  return flags.get_positive_int("jobs", 0);
+}
+
+int workers_flag(const CliFlags& flags) {
+  // absent = 0: serial machines (no PDES drain threads).
+  return flags.get_positive_int("workers", 0);
 }
 
 WorkerPool::WorkerPool(int threads, bool instrument)

@@ -58,6 +58,12 @@ namespace scc::exec {
 /// std::runtime_error through CliFlags' hardened get_int path.
 [[nodiscard]] int jobs_flag(const CliFlags& flags);
 
+/// Reads --workers=N (PDES drain threads inside each simulated machine;
+/// RunSpec::pdes_workers) from parsed CLI flags: absent -> 0 (serial
+/// machines, the pre-PDES path). Same validation and error style as
+/// --jobs: an explicit value must be a well-formed integer >= 1.
+[[nodiscard]] int workers_flag(const CliFlags& flags);
+
 /// Executor introspection counters (WorkerPool::pool_stats).
 ///
 /// rounds/tasks are pure work-volume counts, deterministic for a given

@@ -86,6 +86,10 @@ struct ConformanceSpec {
   /// order, so the report (runs, failures, summary) is identical for every
   /// jobs value. A non-null `trace` recorder forces serial execution.
   int jobs = 1;
+  /// PDES drain threads inside every run's machine (RunSpec::pdes_workers).
+  /// 0 = serial machines (historical behavior). Orthogonal to `jobs`; the
+  /// report is byte-identical for every (jobs, workers) combination.
+  int pdes_workers = 0;
 };
 
 struct ConformanceFailure {

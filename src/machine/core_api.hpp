@@ -26,7 +26,12 @@
 #include "mem/cost_model.hpp"
 #include "mem/latency.hpp"
 #include "mem/mpb.hpp"
+#include "sim/callable.hpp"
 #include "sim/task.hpp"
+
+namespace scc::sim {
+class Engine;
+}
 
 namespace scc::machine {
 
@@ -41,6 +46,8 @@ class CoreApi {
 
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int num_cores() const;
+  /// The core's event-loop partition (0 on a serial machine).
+  [[nodiscard]] int partition() const { return partition_; }
   [[nodiscard]] SimTime now() const;
   [[nodiscard]] const mem::CostModel& cost() const;
   [[nodiscard]] CoreProfile& profile() { return profile_; }
@@ -76,8 +83,33 @@ class CoreApi {
   /// direct-reduction data path of Section IV-D).
   [[nodiscard]] sim::Task<> mpb_word_charge(int mpb_owner, std::size_t bytes,
                                             bool is_read);
+  /// Fused word-granular MPB read: charges mpb_word_stream for dst.size()
+  /// bytes (traffic/contention included, like mpb_word_charge) and copies
+  /// them from `src` into the caller's private buffer at completion. On a
+  /// serial machine this is bit-identical to the old
+  /// mpb_word_charge-then-mpb_window idiom; on a partitioned machine the
+  /// copy is performed by the MPB owner's partition at
+  /// (completion - lookahead), which the read charge provably clears
+  /// (charge >= 2 x lookahead, audited).
+  [[nodiscard]] sim::Task<> mpb_word_get(mem::MpbAddr src,
+                                         std::span<std::byte> dst);
+
+  /// Fused bulk MPB write: charges mpb_bulk(write) for `bytes` (traffic/
+  /// contention included, like mpb_charge), then runs `apply` -- which must
+  /// perform the actual MPB stores from state it OWNS (staged copies, not
+  /// borrowed pointers) -- at completion. Serial: charge then apply()
+  /// inline, bit-identical to the old mpb_charge-then-mpb_window idiom.
+  /// Partitioned: `apply` is posted to the MPB owner's partition at the
+  /// charge's completion (>= lookahead ahead, audited).
+  [[nodiscard]] sim::Task<> mpb_apply_write(int mpb_owner, std::size_t bytes,
+                                            sim::SmallCallable apply);
+
   /// Direct functional access to MPB storage (no charge): used by fused
-  /// kernels together with mpb_charge, and by tests.
+  /// kernels together with mpb_charge, and by tests. Partition-local on a
+  /// partitioned machine (audited): remote windows cannot be touched from
+  /// another partition's event handler -- use mpb_put/mpb_get/
+  /// mpb_word_get/mpb_apply_write, which route the effect through the
+  /// owner's partition.
   [[nodiscard]] std::span<std::byte> mpb_window(mem::MpbAddr addr,
                                                 std::size_t bytes);
 
@@ -116,9 +148,14 @@ class CoreApi {
                                         std::string detail = {});
   /// Extra queueing delay from the optional link-contention model.
   [[nodiscard]] SimTime contention_delay(int from, int to, std::size_t bytes);
+  /// True when `core` lives on another event-loop partition (always false
+  /// on a serial machine).
+  [[nodiscard]] bool cross_partition(int core) const;
 
   SccMachine* machine_;
   int rank_;
+  int partition_;
+  sim::Engine* engine_;  // the rank's partition engine (cached)
   CoreProfile profile_;
 };
 

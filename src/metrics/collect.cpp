@@ -11,8 +11,11 @@ constexpr bool kVariant = false;   // time-type: schedule-dependent
 
 void collect_machine(machine::SccMachine& machine, MetricsRegistry& out) {
   // --- engine (all time-type: counts depend on the interleaving) --------
-  const sim::EngineStats& eng = machine.engine().stats();
-  out.set("engine/events_processed", machine.engine().events_processed(),
+  // Machine-level aggregates: on a serial machine exactly the single
+  // engine's counters; on a partitioned machine summed over partitions
+  // (worker-count-invariant, like everything else here).
+  const sim::EngineStats eng = machine.engine_stats();
+  out.set("engine/events_processed", machine.events_processed(),
           Unit::kCount, kVariant);
   out.set("engine/parks", eng.parks, Unit::kCount, kVariant);
   out.set("engine/notifies", eng.notifies, Unit::kCount, kVariant);
@@ -46,7 +49,7 @@ void collect_machine(machine::SccMachine& machine, MetricsRegistry& out) {
   }
 
   // --- trace recorder health --------------------------------------------
-  if (const trace::Recorder* rec = machine.engine().trace()) {
+  if (const trace::Recorder* rec = machine.trace()) {
     // A saturated recorder silently truncates the event stream; surfacing
     // the drop count here means a blame/export consumer can tell "quiet
     // trace" from "full trace" without re-deriving capacity.
@@ -54,25 +57,26 @@ void collect_machine(machine::SccMachine& machine, MetricsRegistry& out) {
   }
 
   // --- flags -------------------------------------------------------------
-  const machine::FlagStats& flags = machine.flags().stats();
+  const machine::FlagStats flags = machine.flags().stats();
   out.set("flags/sets", flags.sets, Unit::kCount, kInvariant);
   out.set("flags/polls", flags.polls, Unit::kCount, kVariant);
   out.set("flags/wakeups", flags.wakeups, Unit::kCount, kVariant);
 
   // --- NoC traffic volume (contention-free accounting) -------------------
-  out.set("noc/lines_sent", machine.traffic().total_lines_sent(),
-          Unit::kCount, kInvariant);
-  out.set("noc/line_hops", machine.traffic().total_line_hops(), Unit::kCount,
+  const noc::TrafficMatrix traffic = machine.merged_traffic();
+  out.set("noc/lines_sent", traffic.total_lines_sent(), Unit::kCount,
           kInvariant);
-  out.set("noc/max_link_load", machine.traffic().max_link_load(),
-          Unit::kCount, kInvariant);
+  out.set("noc/line_hops", traffic.total_line_hops(), Unit::kCount,
+          kInvariant);
+  out.set("noc/max_link_load", traffic.max_link_load(), Unit::kCount,
+          kInvariant);
 
   // --- link-contention model (populated only when enabled) ---------------
-  const noc::LinkContention& cont = machine.contention();
-  out.set_time("noc/contention/total_delay_fs", cont.total_delay(), kVariant);
-  out.set("noc/contention/delayed_transfers", cont.delayed_transfers(),
-          Unit::kCount, kVariant);
-  for (const auto& [name, link] : cont.link_stats()) {
+  out.set_time("noc/contention/total_delay_fs",
+               machine.contention_total_delay(), kVariant);
+  out.set("noc/contention/delayed_transfers",
+          machine.contention_delayed_transfers(), Unit::kCount, kVariant);
+  for (const auto& [name, link] : machine.merged_link_stats()) {
     // Window COUNT per link is volume-type (one per crossing); the busy /
     // queueing times shift with the interleaving.
     out.set(strprintf("noc/link/%s/windows", name.c_str()), link.windows,
@@ -137,27 +141,38 @@ void collect_worker_pool(const exec::WorkerPoolStats& stats,
 void add_machine_columns(machine::SccMachine& machine, Sampler& sampler) {
   machine::SccMachine* m = &machine;
   sampler.add_column("engine/events_processed",
-                     [m] { return m->engine().events_processed(); });
-  sampler.add_column("engine/parks", [m] { return m->engine().stats().parks; });
+                     [m] { return m->events_processed(); });
+  sampler.add_column("engine/parks",
+                     [m] { return m->engine_stats().parks; });
   // Gauge: coroutines currently parked on a wait queue (every wake-up of a
   // parked waiter decrements; a re-park counts a fresh park).
   sampler.add_column("engine/waiting", [m] {
-    const sim::EngineStats& s = m->engine().stats();
+    const sim::EngineStats s = m->engine_stats();
     return s.parks - s.waiters_woken;
   });
   sampler.add_column("flags/sets", [m] { return m->flags().stats().sets; });
   sampler.add_column("flags/polls", [m] { return m->flags().stats().polls; });
   sampler.add_column("flags/wakeups",
                      [m] { return m->flags().stats().wakeups; });
-  sampler.add_column("noc/lines_sent",
-                     [m] { return m->traffic().total_lines_sent(); });
-  sampler.add_column("noc/line_hops",
-                     [m] { return m->traffic().total_line_hops(); });
-  sampler.add_column("noc/contention/delayed_transfers", [m] {
-    return m->contention().delayed_transfers();
+  // Shard sums, not merged_traffic(): sampler columns fire every tick and
+  // must not copy a whole matrix each time. Counter sums equal the merged
+  // totals exactly.
+  sampler.add_column("noc/lines_sent", [m] {
+    std::uint64_t total = 0;
+    for (int p = 0; p < m->partitions(); ++p)
+      total += m->traffic_of(p).total_lines_sent();
+    return total;
   });
+  sampler.add_column("noc/line_hops", [m] {
+    std::uint64_t total = 0;
+    for (int p = 0; p < m->partitions(); ++p)
+      total += m->traffic_of(p).total_line_hops();
+    return total;
+  });
+  sampler.add_column("noc/contention/delayed_transfers",
+                     [m] { return m->contention_delayed_transfers(); });
   sampler.add_column("noc/contention/total_delay_fs", [m] {
-    return m->contention().total_delay().femtoseconds();
+    return m->contention_total_delay().femtoseconds();
   });
   sampler.add_column("cache/hits", [m] {
     std::uint64_t total = 0;

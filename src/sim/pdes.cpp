@@ -81,7 +81,7 @@ void PdesEngine::flush_outboxes(SimTime floor) {
   stats_.max_window_posts = std::max(stats_.max_window_posts, merged);
 }
 
-void PdesEngine::run() {
+void PdesEngine::drain_windows() {
   const auto num = static_cast<std::size_t>(partitions());
   for (;;) {
     std::optional<SimTime> t_min;
@@ -95,9 +95,15 @@ void PdesEngine::run() {
       // conservative floor -- nothing is executing -- and keep going.
       bool any = false;
       for (const auto& box : outboxes_) any = any || !box.empty();
-      if (!any) break;
-      flush_outboxes(SimTime::zero());
-      continue;
+      if (any) {
+        flush_outboxes(SimTime::zero());
+        continue;
+      }
+      // Fully quiescent. Machine-level coordination with no mesh latency of
+      // its own (the harness barrier) gets one chance to release waiters;
+      // if it schedules anything the window loop keeps going.
+      if (quiescence_hook_ && quiescence_hook_()) continue;
+      break;
     }
 
     const SimTime horizon = saturating_add(*t_min, config_.lookahead);
@@ -122,11 +128,45 @@ void PdesEngine::run() {
       window_probe_(horizon == SimTime::max() ? now() : horizon);
     }
   }
+}
+
+void PdesEngine::run() {
+  if (partitions() == 1) {
+    // Degenerate case: one partition IS a serial engine. Skip the window
+    // protocol (and its WorkerPool round overhead) entirely -- the drain,
+    // deadlock diagnostics and exception surfacing are bit-identical to a
+    // bare sim::Engine. The quiescence hook still participates: run() once,
+    // consult the hook, repeat while it schedules more work.
+    Engine& engine = *engines_[0];
+    do {
+      engine.run();
+    } while (quiescence_hook_ && quiescence_hook_());
+    return;
+  }
+  drain_windows();
 
   // Root bookkeeping in partition order: deadlock diagnostics and the
   // first root failure surface exactly as a serial engine would surface
   // them, partition by partition.
   for (auto& engine : engines_) engine->run();
+}
+
+bool PdesEngine::run_detect_deadlock() {
+  if (partitions() == 1) {
+    Engine& engine = *engines_[0];
+    bool ok = engine.run_detect_deadlock();
+    while (ok && quiescence_hook_ && quiescence_hook_())
+      ok = engine.run_detect_deadlock();
+    return ok;
+  }
+  drain_windows();
+
+  // Partition order, same exception-over-deadlock contract as the serial
+  // engine: the first root exception (spawn order within the earliest
+  // affected partition) outranks any deadlock diagnosis.
+  bool ok = true;
+  for (auto& engine : engines_) ok = engine->run_detect_deadlock() && ok;
+  return ok;
 }
 
 std::uint64_t PdesEngine::events_processed() const {

@@ -131,8 +131,27 @@ class PdesEngine {
 
   /// Runs windows until every partition heap and outbox drains, then runs
   /// each partition engine's root bookkeeping (deadlock diagnostics,
-  /// first-exception rethrow) in partition order.
+  /// first-exception rethrow) in partition order. With a single partition
+  /// the window protocol is skipped entirely and the call delegates to the
+  /// partition engine's run() -- bit-identical to a bare sim::Engine.
   void run();
+
+  /// Like run() but returns false instead of throwing when root tasks are
+  /// deadlocked, with the same exception-over-deadlock contract as
+  /// Engine::run_detect_deadlock applied in partition order.
+  [[nodiscard]] bool run_detect_deadlock();
+
+  /// Installs a quiescence hook: fired on the coordinator thread whenever
+  /// every partition heap and outbox is dry (between windows, workers
+  /// parked). Returning true means the hook scheduled more work (e.g. a
+  /// machine-level barrier releasing its waiters) and the window loop
+  /// continues; false ends the drain. Cross-partition coordination that has
+  /// no mesh latency of its own (zero-cost harness barriers) hangs off this
+  /// hook instead of violating the lookahead contract with zero-latency
+  /// posts. Empty function clears.
+  void set_quiescence_hook(std::function<bool()> hook) {
+    quiescence_hook_ = std::move(hook);
+  }
 
   /// Sum of events processed across partitions.
   [[nodiscard]] std::uint64_t events_processed() const;
@@ -169,6 +188,10 @@ class PdesEngine {
   };
 
   void flush_outboxes(SimTime floor);
+  /// The conservative window loop shared by run()/run_detect_deadlock():
+  /// returns once every heap and outbox is dry and the quiescence hook (if
+  /// any) declined to schedule more work.
+  void drain_windows();
 
   PdesConfig config_;
   std::vector<std::unique_ptr<Engine>> engines_;
@@ -179,6 +202,7 @@ class PdesEngine {
   exec::WorkerPool pool_;
   PdesStats stats_;
   std::function<void(SimTime)> window_probe_;
+  std::function<bool()> quiescence_hook_;
 };
 
 }  // namespace scc::sim

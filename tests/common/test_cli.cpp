@@ -108,6 +108,37 @@ TEST(Cli, DoubleDashStopsParsing) {
   EXPECT_FALSE(flags.has("ignored"));
 }
 
+TEST(Cli, GetPositiveIntFallsBackWhenAbsent) {
+  EXPECT_EQ(parse({}).get_positive_int("jobs", 0), 0);
+  EXPECT_EQ(parse({}).get_positive_int("workers", 3), 3);
+}
+
+TEST(Cli, GetPositiveIntParsesValidValues) {
+  EXPECT_EQ(parse({"--jobs=1"}).get_positive_int("jobs", 0), 1);
+  EXPECT_EQ(parse({"--workers=16"}).get_positive_int("workers", 0), 16);
+}
+
+TEST(Cli, GetPositiveIntRejectsZeroNegativeAndGarbage) {
+  for (const char* arg : {"--w=0", "--w=-3", "--w=abc", "--w=", "--w=4x"}) {
+    EXPECT_THROW(static_cast<void>(parse({arg}).get_positive_int("w", 1)),
+                 std::runtime_error)
+        << arg;
+  }
+}
+
+TEST(Cli, GetPositiveIntErrorNamesTheFlag) {
+  try {
+    static_cast<void>(parse({"--workers=0"}).get_positive_int("workers", 0));
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("--workers"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("positive integer"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Cli, UnconsumedReportsTypos) {
   const auto flags = parse({"--n=1", "--typo=2"});
   EXPECT_EQ(flags.get_int("n", 0), 1);

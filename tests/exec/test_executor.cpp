@@ -195,5 +195,24 @@ TEST(Executor, JobsFlagRejectsZeroNegativeAndGarbage) {
   }
 }
 
+TEST(Executor, WorkersFlagAbsentMeansSerialMachines) {
+  EXPECT_EQ(workers_flag(parse_flags({})), 0);
+}
+
+TEST(Executor, WorkersFlagParsesPositiveValues) {
+  EXPECT_EQ(workers_flag(parse_flags({"--workers=1"})), 1);
+  EXPECT_EQ(workers_flag(parse_flags({"--workers=8"})), 8);
+}
+
+TEST(Executor, WorkersFlagRejectsZeroNegativeAndGarbage) {
+  // Same shared get_positive_int validation path as --jobs: an explicit
+  // worker count must be a well-formed integer >= 1.
+  for (const char* arg : {"--workers=0", "--workers=-1", "--workers=auto",
+                          "--workers=", "--workers=2.5"}) {
+    EXPECT_THROW((void)workers_flag(parse_flags({arg})), std::runtime_error)
+        << arg;
+  }
+}
+
 }  // namespace
 }  // namespace scc::exec

@@ -1,0 +1,249 @@
+// Partition-aware SccMachine, end to end: full collective workloads on the
+// conservative-PDES parallel drain must be INVISIBLE in every artifact.
+//   1. a Fig. 9f-style Allreduce sweep produces byte-identical
+//      CSV/JSON/metrics/histogram artifacts for --workers in {1, 2, 8};
+//   2. the partitioned machine preserves every simulated RESULT of the
+//      serial machine (latencies, outputs, traffic) -- only engine
+//      bookkeeping (event counts, pdes/* counters) may differ;
+//   3. traces and flight-recorder timeseries are byte-identical across
+//      worker counts;
+//   4. a 16-seed perturbation conformance cell is byte-identical across
+//      worker counts, and --jobs x --workers compose;
+//   5. all of the above hold on a degraded machine (stragglers, DVFS,
+//      slow and dead links), where the fault-effective lookahead clamp is
+//      what keeps every cross-post legal.
+// The whole file must also be tsan-clean (preset tsan-pdes): the window
+// barrier is the only synchronization the drain has.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/conformance.hpp"
+#include "harness/runner.hpp"
+#include "harness/sweep.hpp"
+#include "metrics/histogram.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/recorder.hpp"
+
+namespace scc::harness {
+namespace {
+
+std::string csv_of(const SweepResult& result) {
+  std::ostringstream os;
+  result.to_table().write_csv(os);
+  return os.str();
+}
+
+std::string json_of(const SweepResult& result) {
+  std::ostringstream os;
+  result.to_table().write_json(os, "sweep");
+  return os.str();
+}
+
+std::string metrics_json_of(const metrics::MetricsRegistry& registry) {
+  std::ostringstream os;
+  registry.write_json(os);
+  return os.str();
+}
+
+std::string histograms_json_of(const SweepResult& result) {
+  std::ostringstream os;
+  for (const metrics::Histogram& h : result.histograms) h.write_json_us(os);
+  return os.str();
+}
+
+/// A gnarly-but-connected degradation: stragglers and DVFS steps on cores
+/// in different slabs, a slowed boundary link, and a dead link forcing a
+/// reroute. Every charge rises, so the fault-effective lookahead is doing
+/// real work at every cross-post audit site.
+faults::FaultSpec gnarly_faults() {
+  faults::FaultSpec spec;
+  spec.stragglers.push_back({5, 2.5});
+  spec.stragglers.push_back({40, 1.5});
+  spec.dvfs.push_back({17, 2});
+  spec.slow_links.push_back({{{2, 1}, {3, 1}}, 4.0});
+  spec.dead_links.push_back({{1, 2}, {2, 2}});
+  return spec;
+}
+
+SweepSpec fig9f_sweep(int workers, int jobs = 1) {
+  SweepSpec spec;
+  spec.collective = Collective::kAllreduce;
+  spec.from = 48;
+  spec.to = 96;
+  spec.step = 24;
+  spec.repetitions = 2;
+  spec.warmup = 0;
+  spec.verify = false;
+  spec.collect_metrics = true;
+  spec.jobs = jobs;
+  spec.pdes_workers = workers;
+  return spec;
+}
+
+TEST(PdesCollectives, SweepArtifactsAreByteIdenticalAcrossWorkers) {
+  const SweepResult one = run_sweep(fig9f_sweep(1));
+  ASSERT_FALSE(one.histograms.empty());
+  for (const int workers : {2, 8}) {
+    const SweepResult many = run_sweep(fig9f_sweep(workers));
+    EXPECT_EQ(csv_of(one), csv_of(many)) << "workers " << workers;
+    EXPECT_EQ(json_of(one), json_of(many)) << "workers " << workers;
+    EXPECT_EQ(metrics_json_of(one.metrics), metrics_json_of(many.metrics))
+        << "workers " << workers;
+    EXPECT_EQ(histograms_json_of(one), histograms_json_of(many))
+        << "workers " << workers;
+  }
+}
+
+TEST(PdesCollectives, JobsAndWorkersCompose) {
+  // The host-thread executor (independent simulations) and the PDES drain
+  // (threads inside one simulation) multiply out; every combination is the
+  // same bytes.
+  const SweepResult base = run_sweep(fig9f_sweep(/*workers=*/1, /*jobs=*/1));
+  for (const auto& [jobs, workers] : std::vector<std::pair<int, int>>{
+           {8, 2}, {2, 8}}) {
+    const SweepResult combo = run_sweep(fig9f_sweep(workers, jobs));
+    EXPECT_EQ(csv_of(base), csv_of(combo))
+        << "jobs " << jobs << " workers " << workers;
+    EXPECT_EQ(json_of(base), json_of(combo))
+        << "jobs " << jobs << " workers " << workers;
+    EXPECT_EQ(metrics_json_of(base.metrics), metrics_json_of(combo.metrics))
+        << "jobs " << jobs << " workers " << workers;
+    EXPECT_EQ(histograms_json_of(base), histograms_json_of(combo))
+        << "jobs " << jobs << " workers " << workers;
+  }
+}
+
+RunSpec spotlight_run() {
+  RunSpec spec;
+  spec.collective = Collective::kAllreduce;
+  spec.variant = PaperVariant::kLwBalanced;
+  spec.elements = 96;
+  spec.repetitions = 3;
+  spec.warmup = 1;
+  spec.capture_outputs = true;
+  return spec;
+}
+
+TEST(PdesCollectives, PartitionedMachinePreservesSerialResults) {
+  // Sharding the machine may add engine bookkeeping (cross-post events)
+  // but must not move a single simulated result: same latencies, same
+  // output vectors, same traffic totals, verification still passes.
+  const RunResult serial = run_collective(spotlight_run());
+  RunSpec partitioned = spotlight_run();
+  partitioned.pdes_workers = 2;
+  const RunResult pdes = run_collective(partitioned);
+
+  EXPECT_TRUE(serial.verified);
+  EXPECT_TRUE(pdes.verified);
+  EXPECT_EQ(serial.mean_latency, pdes.mean_latency);
+  EXPECT_EQ(serial.min_latency, pdes.min_latency);
+  EXPECT_EQ(serial.max_latency, pdes.max_latency);
+  EXPECT_EQ(serial.latencies, pdes.latencies);
+  EXPECT_EQ(serial.outputs, pdes.outputs);
+  EXPECT_EQ(serial.lines_sent, pdes.lines_sent);
+  EXPECT_EQ(serial.line_hops, pdes.line_hops);
+}
+
+TEST(PdesCollectives, TraceAndTimeseriesAreByteIdenticalAcrossWorkers) {
+  const auto run = [](int workers) {
+    trace::Recorder recorder;
+    RunSpec spec = spotlight_run();
+    spec.trace = &recorder;
+    spec.collect_metrics = true;
+    spec.sample_interval = SimTime::from_us(5.0);
+    spec.pdes_workers = workers;
+    const RunResult result = run_collective(spec);
+    std::ostringstream chrome;
+    trace::write_chrome_json(recorder, chrome);
+    std::ostringstream links;
+    trace::write_link_csv(recorder, links);
+    std::ostringstream series_csv;
+    EXPECT_TRUE(result.timeseries.has_value()) << "workers " << workers;
+    if (result.timeseries.has_value()) result.timeseries->write_csv(series_csv);
+    struct Artifacts {
+      std::string chrome, links, series, metrics;
+    };
+    return Artifacts{chrome.str(), links.str(), series_csv.str(),
+                     metrics_json_of(*result.metrics)};
+  };
+  const auto one = run(1);
+  EXPECT_FALSE(one.chrome.empty());
+  EXPECT_FALSE(one.series.empty());
+  for (const int workers : {2, 8}) {
+    const auto many = run(workers);
+    EXPECT_EQ(one.chrome, many.chrome) << "workers " << workers;
+    EXPECT_EQ(one.links, many.links) << "workers " << workers;
+    EXPECT_EQ(one.series, many.series) << "workers " << workers;
+    EXPECT_EQ(one.metrics, many.metrics) << "workers " << workers;
+  }
+}
+
+TEST(PdesCollectives, PerturbedConformanceCellIsByteIdenticalAcrossWorkers) {
+  // 16 perturbation seeds: on a partitioned machine every partition mixes
+  // its own per-slab stream out of the run seed, so this is the test that
+  // the perturbation layer itself stays deterministic under the drain.
+  const auto run = [](int workers) {
+    ConformanceSpec spec;
+    spec.collective = Collective::kAllreduce;
+    spec.elements = 64;
+    spec.perturb_seeds = 16;
+    spec.pdes_workers = workers;
+    return run_conformance(spec);
+  };
+  const ConformanceReport one = run(1);
+  EXPECT_GT(one.runs, 0);
+  ASSERT_FALSE(one.latency_histograms.empty());
+  for (const int workers : {2, 8}) {
+    const ConformanceReport many = run(workers);
+    EXPECT_EQ(one.runs, many.runs) << "workers " << workers;
+    EXPECT_EQ(one.summary(), many.summary()) << "workers " << workers;
+    ASSERT_EQ(one.failures.size(), many.failures.size());
+    for (std::size_t i = 0; i < one.failures.size(); ++i)
+      EXPECT_EQ(one.failures[i].replay(), many.failures[i].replay());
+    ASSERT_EQ(one.latency_histograms.size(), many.latency_histograms.size());
+    for (std::size_t s = 0; s < one.latency_histograms.size(); ++s) {
+      std::ostringstream a;
+      std::ostringstream b;
+      one.latency_histograms[s].write_json_us(a);
+      many.latency_histograms[s].write_json_us(b);
+      EXPECT_EQ(a.str(), b.str())
+          << "stack " << s << " workers " << workers;
+    }
+  }
+}
+
+TEST(PdesCollectives, FaultedRunIsByteIdenticalAcrossWorkers) {
+  const auto run = [](int workers) {
+    RunSpec spec = spotlight_run();
+    spec.collect_metrics = true;
+    spec.config.faults = gnarly_faults();
+    spec.pdes_workers = workers;
+    return run_collective(spec);
+  };
+  const RunResult one = run(1);
+  EXPECT_TRUE(one.verified);
+  for (const int workers : {2, 8}) {
+    const RunResult many = run(workers);
+    EXPECT_TRUE(many.verified) << "workers " << workers;
+    EXPECT_EQ(one.latencies, many.latencies) << "workers " << workers;
+    EXPECT_EQ(one.outputs, many.outputs) << "workers " << workers;
+    EXPECT_EQ(one.lines_sent, many.lines_sent) << "workers " << workers;
+    EXPECT_EQ(one.line_hops, many.line_hops) << "workers " << workers;
+    EXPECT_EQ(metrics_json_of(*one.metrics), metrics_json_of(*many.metrics))
+        << "workers " << workers;
+  }
+  // And the degraded partitioned run still matches the degraded SERIAL
+  // machine's simulated results.
+  RunSpec serial_spec = spotlight_run();
+  serial_spec.config.faults = gnarly_faults();
+  const RunResult serial = run_collective(serial_spec);
+  EXPECT_EQ(serial.latencies, one.latencies);
+  EXPECT_EQ(serial.outputs, one.outputs);
+  EXPECT_EQ(serial.lines_sent, one.lines_sent);
+}
+
+}  // namespace
+}  // namespace scc::harness

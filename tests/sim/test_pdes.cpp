@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "faults/fault_model.hpp"
 #include "machine/scc_machine.hpp"
 #include "mem/cost_model.hpp"
 #include "mem/latency.hpp"
@@ -224,19 +227,94 @@ TEST(PdesLookahead, TopologyPartitionsAreBalancedColumnSlabs) {
   EXPECT_EQ(topo.min_partition_separation_hops(4), 1);
 }
 
-TEST(PdesLookahead, MachineLookaheadIsOneHealthyHop) {
+/// Brute-forced minimum cross-partition interaction charge: the smallest
+/// value any cross-post's lookahead audit compares against, recomputed
+/// here from the public LatencyCalculator formulas (reads pay the slab
+/// boundary twice -- request and owner-side copy-out -- so they bound the
+/// lookahead at half weight).
+SimTime min_cross_partition_charge(const mem::LatencyCalculator& latency,
+                                   const noc::Topology& topo,
+                                   int partitions) {
+  SimTime best = SimTime::max();
+  for (int a = 0; a < topo.num_cores(); ++a) {
+    for (int b = 0; b < topo.num_cores(); ++b) {
+      if (topo.partition_of(a, partitions) ==
+          topo.partition_of(b, partitions)) {
+        continue;
+      }
+      const SimTime write = latency.mpb_line_access(a, b, /*is_read=*/false);
+      const SimTime word = latency.mpb_word_stream(
+          a, b, sizeof(std::uint32_t), /*is_read=*/false);
+      const SimTime half_read =
+          SimTime{latency.mpb_line_access(a, b, /*is_read=*/true)
+                      .femtoseconds() /
+                  2};
+      const SimTime half_word =
+          SimTime{latency.mpb_word_stream(a, b, sizeof(std::uint32_t),
+                                          /*is_read=*/true)
+                      .femtoseconds() /
+                  2};
+      best = std::min({best, write, word, half_read, half_word});
+    }
+  }
+  return best;
+}
+
+TEST(PdesLookahead, MachineLookaheadTightensAboveHopFloor) {
   const noc::Topology topo(6, 4, 2);
   const mem::HwCostModel hw;
   const mem::LatencyCalculator latency(hw, topo);
+  const SimTime hop = hw.mesh_clock().cycles(hw.mesh_cycles_per_hop);
   const SimTime lookahead = machine::pdes_lookahead(latency, topo, 4);
-  EXPECT_EQ(lookahead, hw.mesh_clock().cycles(hw.mesh_cycles_per_hop));
-  EXPECT_GT(lookahead, SimTime::zero());
-  // Single partition: no boundary, but the lookahead must stay positive
-  // (PdesConfig rejects zero).
-  EXPECT_EQ(machine::pdes_lookahead(latency, topo, 1), lookahead);
-  // The lookahead lower-bounds every cross-slab transit on the healthy
-  // mesh: one hop is exactly the minimum.
-  EXPECT_EQ(latency.min_hop_transit(), lookahead);
+  // Partitioned: the bound is the true minimum cross-partition interaction
+  // charge, which includes the MPB access cost on top of the transit and
+  // therefore sits strictly above the pure hop floor the seed used.
+  EXPECT_GT(lookahead, hop);
+  EXPECT_EQ(lookahead, min_cross_partition_charge(latency, topo, 4));
+  // Single partition: no boundary to audit against; the positive hop floor
+  // keeps PdesConfig's lookahead > 0 precondition satisfied.
+  EXPECT_EQ(machine::pdes_lookahead(latency, topo, 1), hop);
+}
+
+TEST(PdesLookahead, MachineLookaheadClampsToFaultEffectiveCharges) {
+  const noc::Topology topo(6, 4, 2);
+  const mem::HwCostModel hw;
+  const mem::LatencyCalculator healthy(hw, topo);
+
+  // Slow every link and throttle every core: all cross-partition charges
+  // rise, so the fault-effective bound must rise with them -- but never
+  // above the smallest charge an audit will actually see.
+  faults::FaultSpec spec;
+  for (int x = 0; x < topo.tiles_x() - 1; ++x) {
+    for (int y = 0; y < topo.tiles_y(); ++y) {
+      spec.slow_links.push_back({{{x, y}, {x + 1, y}}, 3.0});
+    }
+  }
+  for (int core = 0; core < topo.num_cores(); ++core) {
+    spec.stragglers.push_back({core, 2.0});
+  }
+  const faults::FaultModel faults(spec, topo);
+  const mem::LatencyCalculator degraded(hw, topo, &faults);
+
+  const SimTime healthy_bound = machine::pdes_lookahead(healthy, topo, 4);
+  const SimTime fault_bound = machine::pdes_lookahead(degraded, topo, 4);
+  EXPECT_GE(fault_bound, healthy_bound);
+  EXPECT_GT(fault_bound, healthy_bound);  // every boundary link is slowed
+  EXPECT_EQ(fault_bound, min_cross_partition_charge(degraded, topo, 4));
+}
+
+TEST(PdesLookaheadDeathTest, SpeedupFaultFactorsAreRejected) {
+  // The lookahead stays a LOWER bound under faults only because fault
+  // factors can never accelerate a charge. A factor < 1 must be rejected
+  // at FaultModel construction, not discovered as a lookahead-contract
+  // abort mid-drain.
+  const noc::Topology topo(6, 4, 2);
+  faults::FaultSpec spec;
+  spec.stragglers.push_back({0, 0.5});
+  const auto error = faults::FaultModel::check(spec, topo);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("must be >= 1"), std::string::npos);
+  EXPECT_DEATH({ const faults::FaultModel model(spec, topo); }, "");
 }
 
 }  // namespace
