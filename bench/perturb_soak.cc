@@ -202,11 +202,20 @@ int main(int argc, char** argv) {
     std::optional<scc::trace::Recorder> recorder;
     if (!trace_path.empty()) recorder.emplace();
     std::optional<scc::metrics::MetricsRegistry> last_metrics;
-    // One histogram per stack (coll::kAllPrims order), merged over every
-    // round -- Histogram::merge is exact, so the soak-long tail stays
+    // One histogram per conformance cell (the three RCCE stacks, plus
+    // "rckmpi"/"-nbc" cells on the rounds that produce them), keyed by the
+    // report's cell names in first-seen order and merged over every round
+    // -- Histogram::merge is exact, so the soak-long tail stays
     // deterministic regardless of round count or --jobs.
-    std::vector<scc::metrics::Histogram> soak_hist(
-        std::size(scc::coll::kAllPrims));
+    std::vector<std::pair<std::string, scc::metrics::Histogram>> soak_hist;
+    const auto soak_slot = [&soak_hist](const std::string& name)
+        -> scc::metrics::Histogram& {
+      for (auto& [n, h] : soak_hist) {
+        if (n == name) return h;
+      }
+      soak_hist.emplace_back(name, scc::metrics::Histogram{});
+      return soak_hist.back().second;
+    };
 
     long total_runs = 0;
     long failed_rounds = 0;
@@ -269,6 +278,9 @@ int main(int argc, char** argv) {
           }
         }
       }
+      // Non-blocking cells on a third of the rounds (drawn last so the
+      // other dimensions of a given master seed are unchanged).
+      spec.check_nbc = rng.below(3) == 0;
       spec.trace = recorder ? &*recorder : nullptr;
       spec.jobs = jobs;
 
@@ -277,7 +289,7 @@ int main(int argc, char** argv) {
       total_runs += report.runs;
       if (report.baseline_metrics) last_metrics = report.baseline_metrics;
       for (std::size_t s = 0; s < report.latency_histograms.size(); ++s) {
-        soak_hist[s].merge(report.latency_histograms[s]);
+        soak_slot(report.cells[s]).merge(report.latency_histograms[s]);
       }
       if (!report.passed()) {
         ++failed_rounds;
@@ -312,15 +324,14 @@ int main(int argc, char** argv) {
       }
       out << "{\n  \"schema\": \"scc-hist-v1\",\n  \"histograms\": {";
       bool first = true;
-      for (std::size_t s = 0; s < soak_hist.size(); ++s) {
-        out << (first ? "" : ",") << "\n    \""
-            << scc::coll::prims_name(scc::coll::kAllPrims[s]) << "\": ";
-        soak_hist[s].write_json_us(out);
+      for (const auto& [name, hist] : soak_hist) {
+        out << (first ? "" : ",") << "\n    \"" << name << "\": ";
+        hist.write_json_us(out);
         first = false;
       }
       out << "\n  }\n}\n";
       std::uint64_t recorded = 0;
-      for (const auto& h : soak_hist) recorded += h.count();
+      for (const auto& [name, h] : soak_hist) recorded += h.count();
       std::printf("latency histograms written to %s (%llu samples)\n",
                   hist_path.c_str(),
                   static_cast<unsigned long long>(recorded));

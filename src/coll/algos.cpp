@@ -178,6 +178,7 @@ sim::Task<> allgather_bruck(Stack& stack, std::span<const double> contribution,
       stack.scratch(n * static_cast<std::size_t>(p), 1);
   co_await charged_copy(api, contribution, work.subspan(0, n));
   for (int d = 1; d < p; d <<= 1) {
+    co_await stack.round_gate();
     co_await api.overhead(api.cost().sw.coll_round);
     const auto cnt = static_cast<std::size_t>(std::min(d, p - d));
     co_await stack.exchange_shift(
@@ -216,6 +217,7 @@ sim::Task<> allgather_recursive_doubling(Stack& stack,
   // Fold: the odd rank of each folded pair hands its block to the even
   // representative.
   if (rank < 2 * f.r) {
+    co_await stack.round_gate();
     co_await api.overhead(api.cost().sw.coll_round);
     if (rank % 2 == 1) {
       co_await stack.send(as_b(cspan(blocks_of(rank, rank + 1))), rank - 1);
@@ -225,7 +227,8 @@ sim::Task<> allgather_recursive_doubling(Stack& stack,
   }
   if (f.rep) {
     for (int mask = 1; mask < f.m; mask <<= 1) {
-      co_await api.overhead(api.cost().sw.coll_round);
+      co_await stack.round_gate();
+    co_await api.overhead(api.cost().sw.coll_round);
       const int mybase = (f.vrank / mask) * mask;
       const int pbase = mybase ^ mask;
       const int partner = vstart(f, f.vrank ^ mask);
@@ -238,6 +241,7 @@ sim::Task<> allgather_recursive_doubling(Stack& stack,
   // Unfold: representatives push the completed vector back to the odd rank
   // of their pair.
   if (rank < 2 * f.r) {
+    co_await stack.round_gate();
     co_await api.overhead(api.cost().sw.coll_round);
     if (rank % 2 == 0) {
       co_await stack.send(as_b(std::span<const double>(gathered)), rank + 1);
@@ -264,6 +268,7 @@ sim::Task<int> reduce_scatter_recursive_halving(Stack& stack,
   // Fold: the odd rank of each pair sends its whole accumulator; the even
   // representative reduces it in, then owns the pair's two blocks.
   if (rank < 2 * f.r) {
+    co_await stack.round_gate();
     co_await api.overhead(api.cost().sw.coll_round);
     if (rank % 2 == 1) {
       co_await stack.send(as_b(cspan(out)), rank - 1);
@@ -280,7 +285,8 @@ sim::Task<int> reduce_scatter_recursive_halving(Stack& stack,
     int lo = 0;
     int hi = f.m;
     for (int mask = f.m >> 1; mask >= 1; mask >>= 1) {
-      co_await api.overhead(api.cost().sw.coll_round);
+      co_await stack.round_gate();
+    co_await api.overhead(api.cost().sw.coll_round);
       const int partner = vstart(f, f.vrank ^ mask);
       int keep_lo = lo;
       int keep_hi = lo + mask;
@@ -305,6 +311,7 @@ sim::Task<int> reduce_scatter_recursive_halving(Stack& stack,
   // Unfold: representatives of folded pairs return the odd rank's reduced
   // block. Every core ends up owning original block `rank`.
   if (rank < 2 * f.r) {
+    co_await stack.round_gate();
     co_await api.overhead(api.cost().sw.coll_round);
     const Block& b = blocks[static_cast<std::size_t>(rank | 1)];
     if (rank % 2 == 0) {
@@ -329,6 +336,7 @@ sim::Task<> allreduce_recursive_doubling(Stack& stack,
   const Fold f = make_fold(p, rank);
   std::span<double> tmp = stack.scratch(out.size(), 0);
   if (rank < 2 * f.r) {
+    co_await stack.round_gate();
     co_await api.overhead(api.cost().sw.coll_round);
     if (rank % 2 == 1) {
       co_await stack.send(as_b(cspan(out)), rank - 1);
@@ -339,13 +347,15 @@ sim::Task<> allreduce_recursive_doubling(Stack& stack,
   }
   if (f.rep) {
     for (int mask = 1; mask < f.m; mask <<= 1) {
-      co_await api.overhead(api.cost().sw.coll_round);
+      co_await stack.round_gate();
+    co_await api.overhead(api.cost().sw.coll_round);
       const int partner = vstart(f, f.vrank ^ mask);
       co_await stack.exchange_pair(as_b(cspan(out)), as_b(tmp), partner);
       co_await rcce::apply_reduce(api, tmp, out, op);
     }
   }
   if (rank < 2 * f.r) {
+    co_await stack.round_gate();
     co_await api.overhead(api.cost().sw.coll_round);
     if (rank % 2 == 0) {
       co_await stack.send(as_b(cspan(out)), rank + 1);
@@ -379,6 +389,7 @@ sim::Task<> alltoall_bruck(Stack& stack, std::span<const double> sendbuf,
   // each block travels exactly the set bits of its index, so after the
   // rounds work[i] holds the block from source (rank - i) mod p.
   for (int d = 1; d < p; d <<= 1) {
+    co_await stack.round_gate();
     co_await api.overhead(api.cost().sw.coll_round);
     std::size_t cnt = 0;
     for (int j = d; j < p; ++j) {

@@ -27,6 +27,7 @@ sim::Task<> ring_reduce_scatter(Stack& stack, std::span<double> work,
   for (const Block& b : blocks) max_count = std::max(max_count, b.count);
   std::span<double> tmp = stack.scratch(max_count, 0);
   for (int r = 0; r < p - 1; ++r) {
+    co_await stack.round_gate();
     co_await api.overhead(api.cost().sw.coll_round);
     const Block& sb = blocks[static_cast<std::size_t>((rank - r + p) % p)];
     const Block& rb = blocks[static_cast<std::size_t>((rank - r - 1 + p) % p)];
@@ -48,6 +49,7 @@ sim::Task<> ring_allgather_blocks(Stack& stack, std::span<double> data,
   const int right = (rank + 1) % p;
   const int left = (rank + p - 1) % p;
   for (int r = 0; r < p - 1; ++r) {
+    co_await stack.round_gate();
     co_await api.overhead(api.cost().sw.coll_round);
     const Block& sb =
         blocks[static_cast<std::size_t>(((rank + off - r) % p + p) % p)];
@@ -75,6 +77,7 @@ sim::Task<> reduce_binomial(Stack& stack, std::span<const double> in,
   std::span<double> tmp = stack.scratch(in.size(), 2);
   int mask = 1;
   while (mask < p) {
+    co_await stack.round_gate();
     if (rel & mask) {
       const int dst = (rel - mask + root + p) % p;
       co_await stack.send(as_b(std::span<const double>(acc.data(), acc.size())),
@@ -103,6 +106,7 @@ sim::Task<> bcast_binomial(Stack& stack, std::span<double> data, int root) {
   while (mask < p) {
     if (rel & mask) {
       const int src = (rel - mask + root + p) % p;
+      co_await stack.round_gate();
       co_await stack.recv(as_b(data), src);
       break;
     }
@@ -110,6 +114,7 @@ sim::Task<> bcast_binomial(Stack& stack, std::span<double> data, int root) {
   }
   mask >>= 1;
   while (mask > 0) {
+    co_await stack.round_gate();
     if (rel + mask < p) {
       const int dst = (rel + mask + root) % p;
       co_await stack.send(as_b(std::span<const double>(data)), dst);
@@ -147,6 +152,7 @@ sim::Task<> allgather(Stack& stack, std::span<const double> contribution,
   const int right = (rank + 1) % p;
   const int left = (rank + p - 1) % p;
   for (int r = 0; r < p - 1; ++r) {
+    co_await stack.round_gate();
     co_await api.overhead(api.cost().sw.coll_round);
     const auto send_of = static_cast<std::size_t>((rank - r + p) % p);
     const auto recv_of = static_cast<std::size_t>((rank - r - 1 + p) % p);
@@ -178,6 +184,7 @@ sim::Task<> alltoall(Stack& stack, std::span<const double> sendbuf,
   // and deadlock-free. When the round pairs a core with itself it copies
   // its own block locally.
   for (int r = 0; r < p; ++r) {
+    co_await stack.round_gate();
     co_await api.overhead(api.cost().sw.coll_round);
     const int partner = ((r - rank) % p + p) % p;
     const auto soff = static_cast<std::size_t>(partner) * n;
@@ -247,11 +254,13 @@ sim::Task<> reduce(Stack& stack, std::span<const double> in,
     co_await charged_copy(api, work.subspan(own.offset, own.count),
                           out.subspan(own.offset, own.count));
     for (int k = 1; k < p; ++k) {
+      co_await stack.round_gate();
       const int src = (root + k) % p;
       const Block& b = blocks[static_cast<std::size_t>((src + 1) % p)];
       co_await stack.recv(as_b(out.subspan(b.offset, b.count)), src);
     }
   } else {
+    co_await stack.round_gate();
     const Block& own = blocks[static_cast<std::size_t>((rank + 1) % p)];
     co_await stack.send(
         as_b(std::span<const double>(work.subspan(own.offset, own.count))),
@@ -310,6 +319,7 @@ sim::Task<> scatter_binomial(Stack& stack, std::span<double> data,
     int mask = 1;
     while ((rel & mask) == 0) mask <<= 1;
     const int src = (rel - mask + root + p) % p;
+    co_await stack.round_gate();
     co_await stack.recv(as_b(range_bytes(rel, rel + mask)), src);
     recv_mask = mask;
   } else {
@@ -317,6 +327,7 @@ sim::Task<> scatter_binomial(Stack& stack, std::span<double> data,
     while (recv_mask < p) recv_mask <<= 1;
   }
   for (int mask = recv_mask >> 1; mask > 0; mask >>= 1) {
+    co_await stack.round_gate();
     if (rel + mask < p) {
       const int dst = (rel + mask + root) % p;
       auto span = range_bytes(rel + mask, rel + 2 * mask);
@@ -389,6 +400,7 @@ sim::Task<> scatter(Stack& stack, std::span<const double> send,
     while ((rel & mask) == 0) mask <<= 1;
     const int src_core = (rel - mask + root + p) % p;
     const int hi = std::min(rel + mask, p);
+    co_await stack.round_gate();
     co_await stack.recv(
         as_b(work.subspan(static_cast<std::size_t>(rel) * n,
                           static_cast<std::size_t>(hi - rel) * n)),
@@ -399,6 +411,7 @@ sim::Task<> scatter(Stack& stack, std::span<const double> send,
     while (recv_mask < p) recv_mask <<= 1;
   }
   for (int mask = recv_mask >> 1; mask > 0; mask >>= 1) {
+    co_await stack.round_gate();
     if (rel + mask < p) {
       const int dst = (rel + mask + root) % p;
       const int hi = std::min(rel + 2 * mask, p);
@@ -435,6 +448,7 @@ sim::Task<> gather(Stack& stack, std::span<const double> send,
   // relative range up toward the root.
   int mask = 1;
   while (mask < p) {
+    co_await stack.round_gate();
     if (rel & mask) {
       const int dst = (rel - mask + root + p) % p;
       const int hi = std::min(rel + mask, p);

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <array>
+#include <coroutine>
 #include <optional>
 #include <span>
 #include <string_view>
@@ -39,6 +40,41 @@ inline constexpr std::array<Prims, 3> kAllPrims = {
   }
   return "?";
 }
+
+/// Cooperative yield hook for resumable collective schedules (coll/nbc.hpp).
+/// When attached to a Stack, every round boundary inside the collective
+/// kernels suspends the running schedule and symmetric-transfers control
+/// back to the progress engine's stepper; detached (the default), round
+/// boundaries are free no-ops, so blocking calls are bit-identical to a
+/// build without the hook.
+class Yielder {
+ public:
+  Yielder() = default;
+  Yielder(const Yielder&) = delete;
+  Yielder& operator=(const Yielder&) = delete;
+
+  /// Called at a round boundary with the deepest suspended frame; returns
+  /// the coroutine to transfer control to (the stepper's continuation).
+  [[nodiscard]] virtual std::coroutine_handle<> on_round(
+      std::coroutine_handle<> frame) noexcept = 0;
+
+  /// Cooperative mode: set when the attached engine interleaves MORE than
+  /// one lane on this core. A schedule step that blocks on a peer's flag
+  /// then pins the whole core and can close a cross-lane wait cycle (core A
+  /// stuck in lane 0 waiting on B while B is stuck in lane 1 waiting on A),
+  /// so in cooperative mode the non-blocking layers must poll-and-yield at
+  /// completion points instead of blocking mid-step. Single-lane engines
+  /// leave this false and keep the blocking waits -- and their bit-exact
+  /// blocking-API timing.
+  [[nodiscard]] bool cooperative() const { return cooperative_; }
+  void set_cooperative(bool on) { cooperative_ = on; }
+
+ protected:
+  ~Yielder() = default;
+
+ private:
+  bool cooperative_ = false;
+};
 
 class Stack {
  public:
@@ -95,6 +131,26 @@ class Stack {
 
   sim::Task<> barrier() { return rcce_.barrier(); }
 
+  /// Round-boundary awaitable. The collective kernels `co_await` this once
+  /// per communication round: with no yielder attached it is ready
+  /// immediately (zero events, zero simulated time -- the blocking path is
+  /// unchanged); with one attached it suspends the schedule so the
+  /// non-blocking progress engine can interleave other work (DESIGN.md §17).
+  struct RoundGate {
+    Yielder* yielder;
+    [[nodiscard]] bool await_ready() const noexcept {
+      return yielder == nullptr;
+    }
+    [[nodiscard]] std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<> frame) const noexcept {
+      return yielder->on_round(frame);
+    }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] RoundGate round_gate() const { return RoundGate{yielder_}; }
+  void set_yielder(Yielder* y) { yielder_ = y; }
+  [[nodiscard]] Yielder* yielder() const { return yielder_; }
+
   /// Persistent per-core scratch for the collective algorithms. Temporaries
   /// must not be heap-allocated per call: the cache model keys on host
   /// addresses, and allocator address reuse would make hit/miss patterns --
@@ -108,10 +164,23 @@ class Stack {
   }
 
  private:
+  /// True when completion points must poll-and-yield (multi-lane engine).
+  [[nodiscard]] bool cooperative() const {
+    return yielder_ != nullptr && yielder_->cooperative();
+  }
+  /// Poll-and-yield completion of iRCCE requests: test each id, and while
+  /// any is incomplete charge one poll tick and yield the schedule so the
+  /// engine's other lanes keep making progress. Ids are tested in the order
+  /// given (receives first mirrors wait_all's completion policy).
+  sim::Task<> coop_wait_ircce(std::span<const ircce::RequestId> ids);
+  /// Same poll-and-yield discipline over the lightweight layer's slots.
+  sim::Task<> coop_wait_lwnb(bool pending_recv, bool pending_send);
+
   rcce::Rcce rcce_;
   std::optional<ircce::Ircce> ircce_;
   std::optional<lwnb::Lwnb> lwnb_;
   Prims prims_;
+  Yielder* yielder_ = nullptr;
   std::array<aligned_vector<double>, 3> scratch_;
 };
 

@@ -62,6 +62,84 @@ RunSpec base_run_spec(const ConformanceSpec& spec, coll::Prims prims,
   return run;
 }
 
+/// Collectives with an MPI counterpart wired into run_op_mpi.
+bool mpi_supported(Collective c) {
+  switch (c) {
+    case Collective::kAllgather:
+    case Collective::kAlltoall:
+    case Collective::kReduceScatter:
+    case Collective::kBroadcast:
+    case Collective::kReduce:
+    case Collective::kAllreduce:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Collectives whose full output buffers are value-deterministic across
+/// DIFFERENT schedules (every element is defined, and integer inputs make
+/// all reduction orders bit-equal), so cells running foreign schedules
+/// (RCKMPI) can still be cross-checked against the RCCE reference.
+bool value_deterministic(Collective c) {
+  switch (c) {
+    case Collective::kAllgather:
+    case Collective::kAlltoall:
+    case Collective::kBroadcast:
+    case Collective::kAllreduce:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Collectives with a non-blocking i*() entry point (coll/nbc.hpp).
+bool nbc_supported(Collective c) {
+  switch (c) {
+    case Collective::kAllgather:
+    case Collective::kAlltoall:
+    case Collective::kBroadcast:
+    case Collective::kAllreduce:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// One column of the conformance matrix: a named base RunSpec plus whether
+/// its baseline outputs join the cross-stack full-buffer diff.
+struct Cell {
+  std::string name;
+  RunSpec run;
+  bool cross_check;
+};
+
+std::vector<Cell> build_cells(const ConformanceSpec& spec,
+                              std::optional<coll::Algo> algo) {
+  std::vector<Cell> cells;
+  for (const coll::Prims prims : coll::kAllPrims) {
+    cells.push_back(Cell{std::string(coll::prims_name(prims)),
+                         base_run_spec(spec, prims, algo),
+                         /*cross_check=*/true});
+  }
+  if (spec.check_rckmpi && !algo && mpi_supported(spec.collective)) {
+    RunSpec run = base_run_spec(spec, coll::Prims::kBlocking, std::nullopt);
+    run.variant = PaperVariant::kRckmpi;
+    cells.push_back(
+        Cell{"rckmpi", run, value_deterministic(spec.collective)});
+  }
+  if (spec.check_nbc && nbc_supported(spec.collective)) {
+    for (const coll::Prims prims : coll::kAllPrims) {
+      RunSpec run = base_run_spec(spec, prims, algo);
+      run.nonblocking = true;
+      run.nbc_lanes = 1;
+      cells.push_back(Cell{std::string(coll::prims_name(prims)) + "-nbc",
+                           run, /*cross_check=*/true});
+    }
+  }
+  return cells;
+}
+
 /// First differing (core, element) pair, or empty when identical.
 std::string diff_outputs(const std::vector<std::vector<double>>& got,
                          const std::vector<std::vector<double>>& want) {
@@ -127,7 +205,7 @@ ConformanceReport run_conformance(const ConformanceSpec& spec) {
         strprintf(" faults=%s", spec.faults.to_string().c_str());
   }
 
-  // Execution phase: the whole stack x (1 baseline + K perturbed) matrix
+  // Execution phase: the whole cell x (1 baseline + K perturbed) matrix
   // is one flat job list of independent simulations (each on its own
   // machine). Outcomes -- results or thrown messages -- are captured per
   // job; no verdict is derived here, so execution order cannot influence
@@ -136,13 +214,13 @@ ConformanceReport run_conformance(const ConformanceSpec& spec) {
     std::optional<RunResult> result;
     std::string error;
   };
+  const std::vector<Cell> cells = build_cells(spec, algo);
   const std::size_t runs_per_stack =
       1 + static_cast<std::size_t>(spec.perturb_seeds);
-  const std::size_t stacks = std::size(coll::kAllPrims);
+  const std::size_t stacks = cells.size();
   const auto job_spec = [&](std::size_t job) {
-    const coll::Prims prims = coll::kAllPrims[job / runs_per_stack];
     const std::size_t r = job % runs_per_stack;
-    RunSpec run = base_run_spec(spec, prims, algo);
+    RunSpec run = cells[job / runs_per_stack].run;
     if (r > 0) {
       run.config.perturb_seed =
           spec.perturb_seed_base + static_cast<std::uint64_t>(r - 1);
@@ -151,7 +229,7 @@ ConformanceReport run_conformance(const ConformanceSpec& spec) {
     return run;
   };
   // A shared trace recorder serializes; jobs=1 preserves the serial run
-  // scope order (stack-major, baseline before seeds) exactly.
+  // scope order (cell-major, baseline before seeds) exactly.
   const int jobs = spec.trace != nullptr ? 1 : spec.jobs;
   const std::vector<Outcome> outcomes = exec::parallel_map<Outcome>(
       stacks * runs_per_stack, jobs, [&](std::size_t job) {
@@ -167,15 +245,16 @@ ConformanceReport run_conformance(const ConformanceSpec& spec) {
         return out;
       });
 
-  // Merge phase: spec order (stacks outer, baseline then seeds), byte-
+  // Merge phase: spec order (cells outer, baseline then seeds), byte-
   // identical to the historical serial loop. Note jobs>1 simulates the
-  // perturbed runs even when the stack's baseline failed (the serial path
+  // perturbed runs even when the cell's baseline failed (the serial path
   // skipped them); the wasted work only occurs on already-failing
   // configurations and never reaches the report.
   std::optional<std::vector<std::vector<double>>> reference;
   report.latency_histograms.resize(stacks);
+  for (const Cell& cell : cells) report.cells.push_back(cell.name);
   for (std::size_t s = 0; s < stacks; ++s) {
-    const std::string stack_name{coll::prims_name(coll::kAllPrims[s])};
+    const std::string& stack_name = cells[s].name;
     const auto record = [&](std::optional<std::uint64_t> perturb_seed,
                             std::string what) {
       report.failures.push_back(ConformanceFailure{
@@ -192,14 +271,17 @@ ConformanceReport run_conformance(const ConformanceSpec& spec) {
     for (const SimTime t : baseline.latencies) {
       report.latency_histograms[s].record_time(t);
     }
-    if (reference) {
-      // Cross-stack differential check: the wire protocol and data results
-      // are meant to be identical across the three layers.
-      const std::string diff = diff_outputs(baseline.outputs, *reference);
-      if (!diff.empty()) record(std::nullopt, "cross-stack mismatch: " + diff);
-    } else {
-      reference = baseline.outputs;
-      if (baseline.metrics) report.baseline_metrics = *baseline.metrics;
+    if (cells[s].cross_check) {
+      if (reference) {
+        // Cross-stack differential check: data results are meant to be
+        // identical across every cell running a comparable schedule.
+        const std::string diff = diff_outputs(baseline.outputs, *reference);
+        if (!diff.empty())
+          record(std::nullopt, "cross-stack mismatch: " + diff);
+      } else {
+        reference = baseline.outputs;
+        if (baseline.metrics) report.baseline_metrics = *baseline.metrics;
+      }
     }
 
     for (int k = 0; k < spec.perturb_seeds; ++k) {

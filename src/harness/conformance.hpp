@@ -90,6 +90,27 @@ struct ConformanceSpec {
   /// 0 = serial machines (historical behavior). Orthogonal to `jobs`; the
   /// report is byte-identical for every (jobs, workers) combination.
   int pdes_workers = 0;
+  /// Adds the RCKMPI baseline as a fourth conformance cell whenever the
+  /// collective has an MPI counterpart and no algorithm override is set
+  /// (RCKMPI runs MPICH's own schedules, so per-algorithm cells make no
+  /// sense there). The cell gets the full per-cell treatment -- serial-
+  /// reference verify, perturbed-vs-baseline result diff, traffic and
+  /// metric drift -- and its outputs are additionally cross-checked against
+  /// the RCCE stacks' shared reference for the value-deterministic
+  /// collectives (allgather/alltoall/broadcast/allreduce; integer inputs
+  /// make every reduction order bit-equal). Reduce and ReduceScatter leave
+  /// schedule-dependent garbage outside the owned regions, so their RCKMPI
+  /// cells skip only the cross-stack diff. Long conformance runs also
+  /// re-exercise the channel's mod-256 sequence wraparound under real
+  /// collective traffic (cumulative line counters persist across
+  /// repetitions).
+  bool check_rckmpi = true;
+  /// Adds one non-blocking cell per RCCE stack (RunSpec::nonblocking at one
+  /// lane) for the collectives with an i*() entry point (coll/nbc.hpp).
+  /// One lane replays the blocking wire schedule exactly, so these cells
+  /// cross-check bit-for-bit against the shared reference and must show
+  /// zero traffic drift under every perturbation seed.
+  bool check_nbc = false;
 };
 
 struct ConformanceFailure {
@@ -113,10 +134,14 @@ struct ConformanceReport {
   /// run every other run is diffed against); populated when
   /// spec.compare_metrics. Lets soak drivers export what was checked.
   std::optional<metrics::MetricsRegistry> baseline_metrics;
-  /// Per-stack latency histogram over every completed simulation of the
+  /// Name of every conformance cell of this configuration, in matrix order:
+  /// the three RCCE stacks, then "rckmpi" (when present), then the
+  /// "<stack>-nbc" cells (when requested). Parallel to latency_histograms.
+  std::vector<std::string> cells;
+  /// Per-cell latency histogram over every completed simulation of the
   /// matrix (baseline and all perturbed seeds, every measured repetition;
-  /// femtosecond values), indexed like coll::kAllPrims and merged in spec
-  /// order -- byte-identical for every jobs value.
+  /// femtosecond values), indexed like `cells` and merged in spec order --
+  /// byte-identical for every jobs value.
   std::vector<metrics::Histogram> latency_histograms;
 
   [[nodiscard]] bool passed() const { return failures.empty(); }

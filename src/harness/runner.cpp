@@ -7,6 +7,7 @@
 
 #include "coll/collectives.hpp"
 #include "coll/mpb_allreduce.hpp"
+#include "coll/nbc.hpp"
 #include "common/aligned.hpp"
 #include "common/rng.hpp"
 #include "common/string_util.hpp"
@@ -32,6 +33,9 @@ std::string run_label(const RunSpec& spec) {
   if (spec.algo) {
     label += strprintf(" algo=%s",
                        std::string(coll::algo_name(*spec.algo)).c_str());
+  }
+  if (spec.nonblocking) {
+    label += strprintf(" nbc lanes=%d", spec.nbc_lanes);
   }
   if (!spec.config.faults.empty()) {
     label += strprintf(" faults=%s", spec.config.faults.to_string().c_str());
@@ -165,6 +169,40 @@ sim::Task<> run_op_rcce(coll::Stack& stack, coll::MpbAllreduce* mpb,
   }
 }
 
+/// One invocation through the non-blocking API: initiate, then drive the
+/// engine to completion. Single-request wait() at one lane replays the
+/// blocking wire schedule exactly; the value of this path is exercising the
+/// full initiate/progress/complete machinery under the harness' verify,
+/// metrics and perturbation plumbing.
+sim::Task<> run_op_nbc(coll::nbc::ProgressEngine& engine, const RunSpec& spec,
+                       CoreData& data) {
+  const coll::SplitPolicy split = effective_split(spec);
+  const auto algo = [&](coll::CollKind kind) {
+    return spec.algo.value_or(coll::paper_algo(kind));
+  };
+  coll::nbc::CollRequest req;
+  switch (spec.collective) {
+    case Collective::kAllgather:
+      req = engine.iallgather(data.in, data.out,
+                              algo(coll::CollKind::kAllgather));
+      break;
+    case Collective::kAlltoall:
+      req = engine.ialltoall(data.in, data.out,
+                             algo(coll::CollKind::kAlltoall));
+      break;
+    case Collective::kBroadcast:
+      req = engine.ibcast(data.out, kRoot, split);
+      break;
+    case Collective::kAllreduce:
+      req = engine.iallreduce(data.in, data.out, coll::ReduceOp::kSum, split,
+                              algo(coll::CollKind::kAllreduce));
+      break;
+    default:
+      SCC_ASSERT(false);  // rejected up front by run_collective
+  }
+  co_await req.wait();
+}
+
 sim::Task<> run_op_mpi(rckmpi::Mpi& mpi, const RunSpec& spec,
                        CoreData& data) {
   switch (spec.collective) {
@@ -208,11 +246,17 @@ sim::Task<> core_program(machine::CoreApi& api, const rcce::Layout& layout,
     SCC_ASSERT(mpi_layout != nullptr);
     mpi.emplace(api, *mpi_layout);
   }
+  std::optional<coll::nbc::ProgressEngine> engine;
+  if (spec.nonblocking) {
+    engine.emplace(api, prims_of(spec.variant), spec.nbc_lanes);
+  }
   const int total = spec.warmup + spec.repetitions;
   for (int rep = 0; rep < total; ++rep) {
     co_await api.sync_barrier();
     const SimTime start = api.now();
-    if (mpi) {
+    if (engine) {
+      co_await run_op_nbc(*engine, spec, data);
+    } else if (mpi) {
       co_await run_op_mpi(*mpi, spec, data);
     } else {
       co_await run_op_rcce(stack, &mpb, spec, data);
@@ -400,6 +444,33 @@ RunResult run_collective(const RunSpec& spec) {
           std::string(collective_name(spec.collective)).c_str()));
     }
   }
+  if (spec.nonblocking) {
+    if (spec.variant == PaperVariant::kRckmpi ||
+        spec.variant == PaperVariant::kMpb) {
+      throw std::runtime_error(strprintf(
+          "--nbc is not supported for the %s variant (no i*() entry point)",
+          std::string(variant_name(spec.variant)).c_str()));
+    }
+    switch (spec.collective) {
+      case Collective::kAllgather:
+      case Collective::kAlltoall:
+      case Collective::kBroadcast:
+      case Collective::kAllreduce:
+        break;
+      default:
+        throw std::runtime_error(strprintf(
+            "%s has no non-blocking entry point (coll/nbc.hpp)",
+            std::string(collective_name(spec.collective)).c_str()));
+    }
+    if (spec.nbc_lanes < 1) {
+      throw std::runtime_error("--nbc-lanes must be >= 1");
+    }
+    if (spec.nbc_lanes > 1 && spec.variant == PaperVariant::kBlocking) {
+      throw std::runtime_error(
+          "the blocking stack cannot interleave lanes (its synchronous "
+          "handshake has no poll-and-yield completion); use --nbc-lanes=1");
+    }
+  }
   SCC_EXPECTS(spec.repetitions >= 1);
 
   machine::SccConfig config = spec.config;
@@ -407,6 +478,13 @@ RunResult run_collective(const RunSpec& spec) {
   const int p = config.num_cores();
   rcce::Layout layout(p);
   int flags_needed = layout.flags_needed();
+  if (spec.nonblocking) {
+    // The widest lane's flag range bounds the engine's whole flag use.
+    flags_needed = std::max(
+        flags_needed,
+        rcce::Layout::lane(p, spec.nbc_lanes - 1, spec.nbc_lanes)
+            .flags_needed());
+  }
   std::optional<rckmpi::ChannelLayout> mpi_layout;
   if (spec.variant == PaperVariant::kRckmpi) {
     mpi_layout.emplace(layout);

@@ -97,12 +97,33 @@ sim::Task<> Ircce::complete_send(List::iterator it) {
   co_await progress_sends();
 }
 
-sim::Task<int> Ircce::resolve_any_source() {
+Ircce::List::iterator Ircce::first_blocker(List::iterator it) {
+  for (auto j = recvs_.begin(); j != it; ++j) {
+    if (j->peer == kAnySource ||
+        (it->peer != kAnySource && j->peer == it->peer)) {
+      return j;
+    }
+  }
+  return recvs_.end();
+}
+
+bool Ircce::claimed_by_earlier(List::const_iterator it, int src) const {
+  for (auto j = recvs_.begin(); j != it; ++j) {
+    if (j->peer == src) return true;
+  }
+  return false;
+}
+
+sim::Task<int> Ircce::resolve_any_source(List::iterator it) {
   auto& api = rcce_->api();
   const rcce::Layout& layout = rcce_->layout();
   for (;;) {
     for (int src = 0; src < rcce_->num_cores(); ++src) {
       if (src == rank()) continue;
+      // A channel whose head belongs to an earlier directed receive is
+      // invisible to this wildcard (draining that receive instead could
+      // block on a message that is legitimately still far away).
+      if (claimed_by_earlier(it, src)) continue;
       if (rcce::sent_is_up(api, layout, src)) co_return src;
     }
     co_await api.charge(machine::Phase::kFlagWait,
@@ -113,9 +134,19 @@ sim::Task<int> Ircce::resolve_any_source() {
 sim::Task<> Ircce::complete_recv(List::iterator it) {
   auto& api = rcce_->api();
   const rcce::Layout& layout = rcce_->layout();
+  // FIFO-fair matching (MPI envelope order): a staged message from source s
+  // belongs to the EARLIEST still-posted receive that can match s.
+  // Completing `it` past such a receive would steal its channel head --
+  // wrong data, and a completion set that flips with perturbation seeds
+  // depending on who polls first. Drain blockers in posting order; each
+  // recursive completion erases its node, so positions strictly decrease.
+  for (auto blocker = first_blocker(it); blocker != recvs_.end();
+       blocker = first_blocker(it)) {
+    co_await complete_recv(blocker);
+  }
   int src = it->peer;
   if (src == kAnySource) {
-    src = co_await resolve_any_source();
+    src = co_await resolve_any_source(it);
     it->peer = src;
   }
   const std::size_t total = it->rdata.size();
@@ -146,15 +177,20 @@ sim::Task<bool> Ircce::test(RequestId id) {
     co_return false;
   }
   if (auto it = find_recv(id); it != recvs_.end()) {
+    // FIFO-fair matching: while an earlier receive has first claim on this
+    // one's channel, test() must answer false rather than either stealing
+    // the blocker's message or blocking to drain it.
+    if (first_blocker(it) != recvs_.end()) co_return false;
     const int src = it->peer;
-    if (src != kAnySource && sent_is_up(api, layout, src) &&
-        it->rdata.size() <= layout.chunk_bytes()) {
+    if (it->rdata.size() > layout.chunk_bytes()) co_return false;
+    if (src != kAnySource && sent_is_up(api, layout, src)) {
       co_await complete_recv(it);
       co_return true;
     }
     if (src == kAnySource) {
       for (int candidate = 0; candidate < rcce_->num_cores(); ++candidate) {
         if (candidate == rank()) continue;
+        if (claimed_by_earlier(it, candidate)) continue;
         if (rcce::sent_is_up(api, layout, candidate)) {
           it->peer = candidate;
           co_await complete_recv(it);

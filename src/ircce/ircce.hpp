@@ -86,9 +86,17 @@ class Ircce {
   sim::Task<> progress_sends();
   sim::Task<> complete_send(List::iterator it);
   sim::Task<> complete_recv(List::iterator it);
-  /// Resolves a wildcard receive to a concrete source, blocking until some
-  /// peer has staged a message (bounded poll loop).
-  sim::Task<int> resolve_any_source();
+  /// Earliest receive posted before `it` with first claim on `it`'s match
+  /// (an earlier wildcard, or -- for directed `it` -- an earlier receive
+  /// directed at the same source); recvs_.end() when `it` may match now.
+  [[nodiscard]] List::iterator first_blocker(List::iterator it);
+  /// True when an earlier-posted directed receive named `src`, so a later
+  /// wildcard must not claim that channel's head (MPI envelope order).
+  [[nodiscard]] bool claimed_by_earlier(List::const_iterator it,
+                                        int src) const;
+  /// Resolves the wildcard receive `it` to a concrete source, blocking
+  /// until an unclaimed peer has staged a message (bounded poll loop).
+  sim::Task<int> resolve_any_source(List::iterator it);
 
   rcce::Rcce* rcce_;
   List sends_;

@@ -92,4 +92,29 @@ sim::Task<> Lwnb::wait_both() {
   if (send_pending_) co_await wait_send();
 }
 
+sim::Task<bool> Lwnb::test_send() {
+  SCC_EXPECTS(send_pending_);
+  auto& api = rcce_->api();
+  const rcce::Layout& layout = rcce_->layout();
+  if (sdata_.size() > layout.chunk_bytes()) co_return false;
+  if (api.flag_peek(layout.ready_flag(rank(), sdest_)) == 0) co_return false;
+  co_await rcce::await_ack(api, layout, sdest_);  // flag up: no wait
+  co_await api.overhead(api.cost().sw.lwnb_complete);
+  send_pending_ = false;
+  co_return true;
+}
+
+sim::Task<bool> Lwnb::test_recv() {
+  SCC_EXPECTS(recv_pending_);
+  auto& api = rcce_->api();
+  const rcce::Layout& layout = rcce_->layout();
+  if (rdata_.size() > layout.chunk_bytes()) co_return false;
+  if (!rcce::sent_is_up(api, layout, rsrc_)) co_return false;
+  co_await rcce::await_and_fetch(api, layout, rdata_, rsrc_);
+  co_await rcce::ack_sender(api, layout, rsrc_);
+  co_await api.overhead(api.cost().sw.lwnb_complete);
+  recv_pending_ = false;
+  co_return true;
+}
+
 }  // namespace scc::lwnb

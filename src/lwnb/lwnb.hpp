@@ -43,6 +43,15 @@ class Lwnb {
   /// from the peer's own receive, overlapping with our copy).
   sim::Task<> wait_both();
 
+  /// Non-blocking completion probes for cooperative progress engines: if
+  /// the pending operation can finish without waiting on a peer (its flag
+  /// is already up and the message fits one MPB chunk), complete it and
+  /// return true; otherwise return false without charging wait time. Multi-
+  /// chunk messages always answer false -- their remaining chunks need the
+  /// blocking push loop of wait_send / wait_recv.
+  sim::Task<bool> test_send();
+  sim::Task<bool> test_recv();
+
   [[nodiscard]] bool send_pending() const { return send_pending_; }
   [[nodiscard]] bool recv_pending() const { return recv_pending_; }
 

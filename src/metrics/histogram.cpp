@@ -91,14 +91,39 @@ std::uint64_t Histogram::value_at_quantile(double q) const {
   const auto rank = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(
              std::ceil(q * static_cast<double>(count_))));
+  // The extreme ranks are tracked exactly by record(); never report a
+  // bucket estimate for them. rank == count covers every q above
+  // (count - 1) / count, so a tail quantile asked of a small sample (p999
+  // of fewer than 1000 values) is the true maximum, not the midpoint of
+  // the maximum's bucket -- the midpoint systematically under-reported the
+  // tail by up to half a bucket width (~1.6%), and broke the documented
+  // "q = 1 -> max() exactly" contract whenever the maximum shared its
+  // bucket with smaller samples.
+  if (rank <= 1) return min_;
+  if (rank >= count_) return max_;
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
     seen += buckets_[i];
     if (seen >= rank) {
       const std::uint64_t lower = bucket_lower(i);
       const std::uint64_t upper = bucket_upper(i);
-      const std::uint64_t mid = lower + (upper - lower) / 2;
-      return std::clamp(mid, min_, max_);
+      const std::uint64_t in_bucket = buckets_[i];
+      const std::uint64_t pos = rank - (seen - in_bucket);  // 1..in_bucket
+      // Rank-interpolate within the bucket, spreading its samples evenly
+      // over [lower, upper] (the type-7 convention applied to the only
+      // information the bucket retains). A lone sample still gets the
+      // midpoint -- the minimax estimate of its position. Interpolation in
+      // double: bucket widths near 2^63 would overflow the integer
+      // product, and the IEEE result is platform-deterministic.
+      const std::uint64_t est =
+          in_bucket == 1
+              ? lower + (upper - lower) / 2
+              : lower + static_cast<std::uint64_t>(
+                            static_cast<double>(upper - lower) *
+                            static_cast<double>(pos - 1) /
+                            static_cast<double>(in_bucket - 1));
+      return std::clamp(est, min_, max_);
     }
   }
   return max_;  // unreachable when counts are consistent

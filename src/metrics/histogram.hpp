@@ -15,9 +15,10 @@
 //   - merge() is exact bucket-wise addition, so any split of a sample
 //     stream across histograms merges to the bit-identical state the
 //     serial stream would have produced (merge order irrelevant);
-//   - value_at_quantile() walks cumulative counts and reports the bucket
-//     midpoint (clamped into [min, max], which are tracked exactly), so
-//     exported quantiles are byte-identical for any --jobs / worker split.
+//   - value_at_quantile() walks cumulative counts and rank-interpolates
+//     within the target bucket (extreme ranks return the exactly-tracked
+//     min/max; everything is clamped into [min, max]), so exported
+//     quantiles are byte-identical for any --jobs / worker split.
 //
 // Values are unit-agnostic uint64 counts; collective latencies record
 // femtoseconds (record_time) and export microseconds.
@@ -55,10 +56,12 @@ class Histogram {
   /// sum / count; NaN when empty (writers must route through json_number).
   [[nodiscard]] double mean() const;
 
-  /// Smallest recorded value v such that at least ceil(q * count) recorded
-  /// values are <= its bucket, reported as the bucket midpoint clamped into
-  /// [min(), max()]. q in [0, 1]; q = 0 -> min(), q = 1 -> max() (exact).
-  /// Requires a non-empty histogram.
+  /// Estimate of the rank-ceil(q * count) order statistic. Rank 1 returns
+  /// min() and rank count returns max() EXACTLY (so q = 0, q = 1, and any
+  /// tail quantile asked of a small sample -- p999 with fewer than 1000
+  /// values -- are exact, not bucket estimates); interior ranks
+  /// rank-interpolate within their bucket and are clamped into
+  /// [min(), max()]. q in [0, 1]; requires a non-empty histogram.
   [[nodiscard]] std::uint64_t value_at_quantile(double q) const;
 
   /// Inclusive value range [lower, upper] of the bucket `index` maps to

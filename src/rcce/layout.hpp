@@ -11,6 +11,16 @@
 //   ready(from)   -- writer `from` consumed the message I staged
 //   barrier(r)    -- dissemination-barrier round r (single writer each)
 //   mpb_filled(b)/mpb_free(b) -- MPB-direct Allreduce double buffering
+//
+// Lane sublayouts (Layout::lane): the non-blocking progress engine runs
+// several collectives concurrently over one untagged flag fabric, which is
+// only safe if concurrent schedules never share a (flag, chunk) namespace.
+// A lane is a vertical slice of the same MPB: lane L gets flag indices
+// [L*flags_needed, (L+1)*flags_needed) and an equal cache-line-aligned cut
+// of the shared payload region. The flag *lines* (one per writer) are
+// shared -- a 32-byte line carries one byte per flag, so a handful of lanes
+// fits the per-writer line with no extra MPB reservation; only the payload
+// chunk shrinks. Lane 0 of 1 is bit-identical to the plain layout.
 #pragma once
 
 #include <cstddef>
@@ -25,9 +35,36 @@ class Layout {
  public:
   explicit Layout(int num_cores,
                   std::size_t mpb_bytes = mem::kMpbBytesPerCore)
-      : num_cores_(num_cores), mpb_bytes_(mpb_bytes) {
+      : num_cores_(num_cores),
+        mpb_bytes_(mpb_bytes),
+        payload_base_(static_cast<std::size_t>(num_cores) *
+                      mem::kCacheLineBytes),
+        payload_end_(mpb_bytes) {
     SCC_EXPECTS(num_cores > 0);
     SCC_EXPECTS(payload_bytes() >= mem::kCacheLineBytes);
+  }
+
+  /// Lane `which` of `lanes` equal sublayouts of the same MPB (see the file
+  /// comment). Lane payload cuts are cache-line aligned; the machine's
+  /// flags_per_core must cover lane `lanes-1`'s flags_needed().
+  [[nodiscard]] static Layout lane(int num_cores, int which, int lanes,
+                                   std::size_t mpb_bytes =
+                                       mem::kMpbBytesPerCore) {
+    SCC_EXPECTS(lanes >= 1);
+    SCC_EXPECTS(which >= 0 && which < lanes);
+    Layout l(num_cores);
+    l.mpb_bytes_ = mpb_bytes;
+    const std::size_t shared =
+        static_cast<std::size_t>(num_cores) * mem::kCacheLineBytes;
+    SCC_EXPECTS(mpb_bytes > shared);
+    const std::size_t per_lane = ((mpb_bytes - shared) /
+                                  static_cast<std::size_t>(lanes)) &
+                                 ~(mem::kCacheLineBytes - 1);
+    SCC_EXPECTS(per_lane >= mem::kCacheLineBytes);
+    l.payload_base_ = shared + static_cast<std::size_t>(which) * per_lane;
+    l.payload_end_ = l.payload_base_ + per_lane;
+    l.flag_base_ = which * (2 * num_cores + 18);
+    return l;
   }
 
   [[nodiscard]] int num_cores() const { return num_cores_; }
@@ -36,17 +73,17 @@ class Layout {
   [[nodiscard]] machine::FlagRef sent_flag(int at_core, int from) const {
     check_core(at_core);
     check_core(from);
-    return {at_core, from};
+    return {at_core, flag_base_ + from};
   }
   [[nodiscard]] machine::FlagRef ready_flag(int at_core, int from) const {
     check_core(at_core);
     check_core(from);
-    return {at_core, num_cores_ + from};
+    return {at_core, flag_base_ + num_cores_ + from};
   }
   [[nodiscard]] machine::FlagRef barrier_flag(int at_core, int round) const {
     check_core(at_core);
     SCC_EXPECTS(round >= 0 && round < 14);
-    return {at_core, 2 * num_cores_ + round};
+    return {at_core, flag_base_ + 2 * num_cores_ + round};
   }
   /// Double-buffer handshake for the MPB-direct Allreduce: `filled` is set
   /// by the left ring neighbour, `free` by the right one -- single writer
@@ -54,24 +91,26 @@ class Layout {
   [[nodiscard]] machine::FlagRef mpb_filled_flag(int at_core, int buf) const {
     check_core(at_core);
     SCC_EXPECTS(buf == 0 || buf == 1);
-    return {at_core, 2 * num_cores_ + 14 + buf};
+    return {at_core, flag_base_ + 2 * num_cores_ + 14 + buf};
   }
   [[nodiscard]] machine::FlagRef mpb_free_flag(int at_core, int buf) const {
     check_core(at_core);
     SCC_EXPECTS(buf == 0 || buf == 1);
-    return {at_core, 2 * num_cores_ + 16 + buf};
+    return {at_core, flag_base_ + 2 * num_cores_ + 16 + buf};
   }
-  /// Number of flag slots this layout requires per core.
-  [[nodiscard]] int flags_needed() const { return 2 * num_cores_ + 18; }
+  /// Number of flag slots this layout requires per core (the one-past-the-
+  /// end flag index, so a lane sublayout reports its own upper bound).
+  [[nodiscard]] int flags_needed() const {
+    return flag_base_ + 2 * num_cores_ + 18;
+  }
 
   // --- payload ------------------------------------------------------------
-  /// One reserved line per remote writer precedes the payload.
-  [[nodiscard]] std::size_t payload_offset() const {
-    return static_cast<std::size_t>(num_cores_) * mem::kCacheLineBytes;
-  }
+  /// First payload byte of this (sub)layout; one reserved line per remote
+  /// writer precedes the payload of the full layout.
+  [[nodiscard]] std::size_t payload_offset() const { return payload_base_; }
   [[nodiscard]] std::size_t payload_bytes() const {
-    SCC_EXPECTS(mpb_bytes_ > payload_offset());
-    return mpb_bytes_ - payload_offset();
+    SCC_EXPECTS(payload_end_ > payload_base_);
+    return payload_end_ - payload_base_;
   }
   /// Largest message staged in one piece (RCCE chunk size).
   [[nodiscard]] std::size_t chunk_bytes() const { return payload_bytes(); }
@@ -80,7 +119,7 @@ class Layout {
                                           std::size_t offset = 0) const {
     check_core(core);
     SCC_EXPECTS(offset < payload_bytes());
-    return {core, payload_offset() + offset};
+    return {core, payload_base_ + offset};
   }
 
  private:
@@ -90,6 +129,9 @@ class Layout {
 
   int num_cores_;
   std::size_t mpb_bytes_;
+  std::size_t payload_base_;
+  std::size_t payload_end_;
+  int flag_base_ = 0;
 };
 
 }  // namespace scc::rcce

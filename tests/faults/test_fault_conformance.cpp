@@ -1,5 +1,6 @@
-// Differential conformance on a degraded machine (label: faults): all three
-// stacks, unperturbed baseline plus 16 perturbation seeds each, simulated on
+// Differential conformance on a degraded machine (label: faults): all four
+// cells (three RCCE stacks + the RCKMPI baseline), unperturbed baseline
+// plus 16 perturbation seeds each, simulated on
 // the SAME faulted machine. Faults move timings and therefore schedules --
 // that is the point -- but results must stay element-wise identical across
 // stacks and seeds, volume-type counters must stay schedule-invariant, and
@@ -48,7 +49,9 @@ TEST_P(FaultConformance, AllStacksAgreeOnTheDegradedMachine) {
   spec.max_delay_fs = c.max_delay_fs;
   spec.faults = faults::FaultSpec::parse(c.faults);
   const ConformanceReport report = run_conformance(spec);
-  EXPECT_EQ(report.runs, 3 * (16 + 1));
+  // Three RCCE stacks + the RCKMPI cell (every case here has an MPI
+  // counterpart), baseline + 16 perturbation seeds each.
+  EXPECT_EQ(report.runs, 4 * (16 + 1));
   EXPECT_TRUE(report.passed()) << report.summary();
   // The report names the degradation it ran under (soak-log greppability).
   EXPECT_NE(report.configuration.find("faults="), std::string::npos);

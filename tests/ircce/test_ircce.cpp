@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "machine/scc_machine.hpp"
@@ -209,6 +211,110 @@ TEST(Ircce, TestPollsUntilCompletion) {
   machine.run();
   EXPECT_EQ(received, data);
   EXPECT_GT(test_calls, 0);  // the sender was delayed, so test() failed first
+}
+
+// --- FIFO-fair wildcard/directed matching (regression) -------------------
+//
+// MPI envelope order: a staged message belongs to the EARLIEST still-posted
+// receive that can match its source. Before the fix, whichever request was
+// polled first claimed the channel head -- a later directed receive could
+// steal the message an earlier wildcard was owed (and vice versa), flipping
+// the completion set with perturbation seeds.
+
+struct FifoFairResult {
+  std::vector<std::byte> wdata, ddata;
+  int wsource = -2;
+  bool directed_test_while_blocked = true;
+};
+
+sim::Task<> wildcard_then_directed(machine::CoreApi& api,
+                                   const rcce::Layout* layout,
+                                   FifoFairResult* out, int src) {
+  rcce::Rcce rcce(api, *layout);
+  Ircce ircce(rcce);
+  const RequestId w = co_await ircce.irecv(out->wdata, kAnySource);
+  const RequestId d = co_await ircce.irecv(out->ddata, src);
+  // Let the sender stage its first message, then probe the DIRECTED
+  // request: the channel head belongs to the earlier wildcard, so test()
+  // must answer false rather than steal it or drain the blocker.
+  co_await api.compute(50000);
+  out->directed_test_while_blocked = co_await ircce.test(d);
+  co_await ircce.wait(w);
+  out->wsource = ircce.source_of(w);
+  co_await ircce.wait(d);
+}
+
+TEST(Ircce, WildcardPostedFirstKeepsTheChannelHead) {
+  const auto m1 = pattern(64, 11);
+  const auto m2 = pattern(64, 22);
+  // Identical outcome unperturbed and under every perturbation seed: the
+  // matching rule is part of the protocol, not of the schedule.
+  for (const std::optional<std::uint64_t> seed :
+       {std::optional<std::uint64_t>{}, std::optional<std::uint64_t>{1},
+        std::optional<std::uint64_t>{2}, std::optional<std::uint64_t>{3}}) {
+    machine::SccConfig config = small_config();
+    config.perturb_seed = seed;
+    machine::SccMachine machine(config);
+    const rcce::Layout layout(machine.num_cores());
+    FifoFairResult out;
+    out.wdata.resize(64);
+    out.ddata.resize(64);
+    machine.launch(0, wildcard_then_directed(machine.core(0), &layout, &out,
+                                             /*src=*/1));
+    machine.launch(1, two_isends(machine.core(1), &layout, &m1, &m2, 0));
+    machine.run();
+    const std::string tag =
+        seed ? "seed " + std::to_string(*seed) : "unperturbed";
+    EXPECT_FALSE(out.directed_test_while_blocked) << tag;
+    EXPECT_EQ(out.wdata, m1) << tag;  // wildcard posted first -> first msg
+    EXPECT_EQ(out.wsource, 1) << tag;
+    EXPECT_EQ(out.ddata, m2) << tag;  // directed gets the second
+  }
+}
+
+sim::Task<> directed_then_wildcard(machine::CoreApi& api,
+                                   const rcce::Layout* layout,
+                                   FifoFairResult* out, int claimed_src) {
+  rcce::Rcce rcce(api, *layout);
+  Ircce ircce(rcce);
+  const RequestId d = co_await ircce.irecv(out->ddata, claimed_src);
+  const RequestId w = co_await ircce.irecv(out->wdata, kAnySource);
+  // Wait on the wildcard FIRST, with claimed_src's message already staged
+  // and tempting: the channel head belongs to the earlier directed
+  // receive, so the wildcard must poll past it and take the other sender.
+  co_await api.compute(50000);
+  co_await ircce.wait(w);
+  out->wsource = ircce.source_of(w);
+  co_await ircce.wait(d);
+}
+
+TEST(Ircce, LaterWildcardSkipsChannelsClaimedByDirectedRecvs) {
+  const auto claimed = pattern(64, 33);
+  const auto other = pattern(64, 44);
+  for (const std::optional<std::uint64_t> seed :
+       {std::optional<std::uint64_t>{}, std::optional<std::uint64_t>{1},
+        std::optional<std::uint64_t>{2}, std::optional<std::uint64_t>{3}}) {
+    machine::SccConfig config = small_config();
+    config.perturb_seed = seed;
+    machine::SccMachine machine(config);
+    const rcce::Layout layout(machine.num_cores());
+    FifoFairResult out;
+    out.wdata.resize(64);
+    out.ddata.resize(64);
+    machine.launch(0, directed_then_wildcard(machine.core(0), &layout, &out,
+                                             /*claimed_src=*/1));
+    // Rank 1's message arrives first; rank 5's much later. The wildcard
+    // must still end up with rank 5's.
+    machine.launch(1, delayed_send(machine.core(1), &layout, &claimed, 0, 0));
+    machine.launch(5,
+                   delayed_send(machine.core(5), &layout, &other, 0, 200000));
+    machine.run();
+    const std::string tag =
+        seed ? "seed " + std::to_string(*seed) : "unperturbed";
+    EXPECT_EQ(out.wsource, 5) << tag;
+    EXPECT_EQ(out.wdata, other) << tag;
+    EXPECT_EQ(out.ddata, claimed) << tag;
+  }
 }
 
 TEST(Ircce, TestOnUnknownIdIsTrue) {
